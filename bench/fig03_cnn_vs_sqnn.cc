@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig 3: CNN training iterations are homogeneous while
+ * SQNN (GNMT) iterations vary widely, shown as normalized
+ * per-iteration runtimes over a slice of an epoch.
+ */
+
+#include <cstdio>
+
+#include "common/stats_math.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+namespace {
+
+/** Collect the first `n` normalized iteration times of an epoch. */
+std::vector<double>
+normalizedIterations(harness::Experiment &exp, size_t n)
+{
+    const auto &log = exp.epochLog(sim::GpuConfig::config1());
+    std::vector<double> times;
+    for (size_t i = 0; i < std::min(n, log.iterations.size()); ++i)
+        times.push_back(log.iterations[i].timeSec);
+    double m = mean(times);
+    for (double &t : times)
+        t /= m;
+    return times;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    harness::Experiment cnn(harness::makeCnnWorkload());
+    harness::Experiment gnmt(harness::makeGnmtWorkload());
+
+    auto cnn_t = normalizedIterations(cnn, 24);
+    auto gnmt_t = normalizedIterations(gnmt, 24);
+
+    Table table({"iteration", "CNN (norm. time)", "SQNN/GNMT "
+                 "(norm. time)"});
+    for (size_t i = 0; i < cnn_t.size(); ++i) {
+        table.addRow({csprintf("%zu", i), csprintf("%.3f", cnn_t[i]),
+                      csprintf("%.3f", gnmt_t[i])});
+    }
+    std::printf("%s\n", table.render(
+        "Fig 3: per-iteration runtime, CNN vs SQNN (normalized to the "
+        "per-network mean)").c_str());
+
+    std::printf("CNN  spread: min %.3f max %.3f (stdev %.4f)\n",
+                minOf(cnn_t), maxOf(cnn_t), stdev(cnn_t));
+    std::printf("GNMT spread: min %.3f max %.3f (stdev %.4f)\n",
+                minOf(gnmt_t), maxOf(gnmt_t), stdev(gnmt_t));
+
+    bench::paperNote("CNN iterations are homogeneous; SQNN iterations "
+                     "are heterogeneous (unroll follows input SL).");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Fig 4: hardware performance-counter statistics
+ * (load traffic, memory-write stalls, VALU instructions) for four
+ * representative iterations of DS2 and GNMT, normalized to each
+ * network's average -- the counters differ by tens of percent across
+ * iterations.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats_math.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+namespace {
+
+void
+emit(harness::Experiment &exp, const std::vector<int64_t> &sls)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+
+    // The paper reports counters averaged across the iteration's
+    // operations; we report the equivalent intensity metrics: load
+    // bandwidth, write-stall fraction and VALU issue rate over the
+    // iteration's busy time.
+    std::vector<double> loads, stalls, valu;
+    for (int64_t sl : sls) {
+        const auto &p = exp.iterProfile(cfg1, sl);
+        double busy = std::max(1e-12, p.counters.busySec);
+        loads.push_back(p.counters.bytesLoaded / busy);
+        stalls.push_back(p.counters.writeStallSec / busy);
+        valu.push_back(p.counters.valuInsts / busy);
+    }
+    double ml = mean(loads), ms = mean(stalls), mv = mean(valu);
+
+    Table table({"iteration", "load data size", "mem write stalls",
+                 "VALU insts"});
+    for (size_t i = 0; i < sls.size(); ++i) {
+        table.addRow({csprintf("iter-%zu (SL=%lld)", i + 1,
+                               (long long)sls[i]),
+                      csprintf("%.3f", loads[i] / ml),
+                      csprintf("%.3f", stalls[i] / ms),
+                      csprintf("%.3f", valu[i] / mv)});
+    }
+    std::printf("%s\n", table.render(csprintf(
+        "Fig 4 (%s): normalized counters for four representative "
+        "iterations", exp.workload().name.c_str())).c_str());
+
+    auto spread = [](const std::vector<double> &v) {
+        return (maxOf(v) - minOf(v)) / mean(v) * 100.0;
+    };
+    std::printf("spread: loads %.1f%%, write stalls %.1f%%, "
+                "VALU %.1f%%\n\n",
+                spread(loads), spread(stalls), spread(valu));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    harness::Experiment ds2(harness::makeDs2Workload());
+    harness::Experiment gnmt(harness::makeGnmtWorkload());
+
+    // Four iterations spanning each network's SL range (quartiles of
+    // the iteration distribution).
+    emit(ds2, {80, 150, 250, 400});
+    emit(gnmt, {15, 30, 70, 150});
+
+    bench::paperNote("read traffic / write stalls / VALU insts differ "
+                     "by about 24% / 25% / 27% across iterations.");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig 6: the runtime share of kernel groups (GEMM
+ * variants, reductions, scalar ops, rest) differs across iterations
+ * with different sequence lengths.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+namespace {
+
+void
+emit(harness::Experiment &exp, int64_t sl_short, int64_t sl_long)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+
+    auto shares = [&](int64_t sl) {
+        const auto &p = exp.iterProfile(cfg1, sl);
+        return p.classShares();
+    };
+    auto s1 = shares(sl_short);
+    auto s2 = shares(sl_long);
+
+    Table table({"kernel class",
+                 csprintf("sl-%lld share", (long long)sl_short),
+                 csprintf("sl-%lld share", (long long)sl_long)});
+    for (unsigned i = 0; i < sim::numKernelClasses; ++i) {
+        if (s1[i] < 0.001 && s2[i] < 0.001)
+            continue;
+        table.addRow({sim::kernelClassName(
+                          static_cast<sim::KernelClass>(i)),
+                      csprintf("%.1f%%", 100.0 * s1[i]),
+                      csprintf("%.1f%%", 100.0 * s2[i])});
+    }
+    std::printf("%s\n", table.render(csprintf(
+        "Fig 6 (%s): kernel-class runtime distribution at two SLs",
+        exp.workload().name.c_str())).c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    harness::Experiment gnmt(harness::makeGnmtWorkload());
+    harness::Experiment ds2(harness::makeDs2Workload());
+
+    emit(gnmt, 15, 150);
+    emit(ds2, 80, 400);
+
+    bench::paperNote("kernel distribution differs with SL: "
+                     "SL-proportional layers (recurrent cells) grow "
+                     "while fixed-count layers shrink in share.");
+    return 0;
+}

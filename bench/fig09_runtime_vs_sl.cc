@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Fig 9: iteration runtime versus sequence length for
+ * GNMT and DS2 -- near-linear, which makes runtime a good proxy for
+ * the execution profile and supports bin-average representative
+ * selection.
+ */
+
+#include <cstdio>
+
+#include "common/stats_math.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+namespace {
+
+void
+emit(harness::Experiment &exp, int64_t lo, int64_t hi, int64_t step)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+
+    std::vector<double> xs, ys;
+    Table table({"SL", "iteration time (ms)", "normalized"});
+    double t_lo = exp.iterTime(cfg1, lo);
+    for (int64_t sl = lo; sl <= hi; sl += step) {
+        double t = exp.iterTime(cfg1, sl);
+        xs.push_back(static_cast<double>(sl));
+        ys.push_back(t);
+        table.addRow({csprintf("%lld", (long long)sl),
+                      csprintf("%.2f", t * 1e3),
+                      csprintf("%.2f", t / t_lo)});
+    }
+    LinearFit fit = fitLine(xs, ys);
+    std::printf("%s\n", table.render(csprintf(
+        "Fig 9 (%s): runtime vs sequence length",
+        exp.workload().name.c_str())).c_str());
+    std::printf("linear fit: slope %.3g ms/SL, intercept %.3g ms, "
+                "R^2 = %.4f\n\n",
+                fit.slope * 1e3, fit.intercept * 1e3, fit.r2);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    harness::Experiment gnmt(harness::makeGnmtWorkload());
+    harness::Experiment ds2(harness::makeDs2Workload());
+
+    emit(gnmt, 10, 210, 10);
+    emit(ds2, 60, 440, 20);
+
+    bench::paperNote("runtime grows near-linearly with SL for both "
+                     "networks (R^2 close to 1).");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Walks the Fig 10 SeqPoint mechanism end-to-end on GNMT, printing
+ * each numbered step: (1) per-SL stats from one epoch, (2) binning,
+ * (3) representative pick, (4) weights, (5) projection, (6) the error
+ * check and k refinement.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/binning.hh"
+#include "harness/experiment.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    harness::Experiment exp(harness::makeGnmtWorkload());
+    auto cfg1 = sim::GpuConfig::config1();
+    auto stats = exp.slStats(cfg1);
+    core::SeqPointOptions opts = harness::Experiment::defaultOptions();
+
+    std::printf("Fig 10 walk-through (GNMT, config #1)\n\n");
+    std::printf("(1) one epoch logged: %llu iterations, %zu unique "
+                "SLs, actual train time %.2fs\n",
+                (unsigned long long)stats.totalIterations(),
+                stats.uniqueCount(), stats.actualTotal());
+    std::printf("    unique SLs %zu > n=%u, so binning is needed\n\n",
+                stats.uniqueCount(), opts.uniqueSlThreshold);
+
+    double actual = stats.actualTotal();
+    for (unsigned k = opts.initialBins;; ++k) {
+        core::SeqPointSet set = core::selectWithBins(stats, k, opts);
+        std::printf("(2)-(5) k=%u: %zu SeqPoints, projected %.2fs, "
+                    "error %.3f%%\n", k, set.points.size(),
+                    set.projectTotal(), 100.0 * set.selfError);
+        if (set.converged) {
+            std::printf("(6) error %.3f%% <= e=%.1f%%: DONE\n\n",
+                        100.0 * set.selfError,
+                        100.0 * opts.errorThreshold);
+            Table table({"SeqPoint SL", "weight (iterations)",
+                         "iteration time (ms)"});
+            for (const auto &p : set.points) {
+                table.addRow({csprintf("%lld", (long long)p.seqLen),
+                              csprintf("%.0f", p.weight),
+                              csprintf("%.2f", p.statValue * 1e3)});
+            }
+            std::printf("%s\n", table.render(
+                "Selected SeqPoints").c_str());
+            std::printf("projection check: sum(w*s) = %.2fs vs actual "
+                        "%.2fs\n", set.projectTotal(), actual);
+            break;
+        }
+        std::printf("(6) error above threshold: increment k\n");
+        if (k > opts.maxBins)
+            break;
+    }
+
+    bench::paperNote("the mechanism converged at k=15 bins for GNMT "
+                     "in the paper's setup.");
+    return 0;
+}

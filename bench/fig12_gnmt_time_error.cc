@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates Fig 12: error in projecting GNMT's total training time,
+ * per selector, across the five Table II configurations.
+ */
+
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    harness::Experiment exp(harness::makeGnmtWorkload());
+    double geo = bench::printTimeErrorFigure(exp,
+        "Fig 12: error in total training time projections for GNMT");
+    bench::paperNote(csprintf(
+        "paper geomean for SeqPoint: 0.53%%; measured here: %.2f%%. "
+        "Paper: worst 301-877%%, frequent 20-35%%, median up to "
+        "~10%%.", geo));
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates Fig 13: GNMT's per-SL throughput-uplift sensitivity to
+ * GCLK (#2->#1), CU count (#3->#1), L1 (#4->#1) and L2 (#5->#1).
+ */
+
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    harness::Experiment exp(harness::makeGnmtWorkload());
+    bench::printSensitivityFigure(exp,
+        "Fig 13: per-SL sensitivity of GNMT iterations (uplift of "
+        "config #1 over each variant)", 10, 210, 10);
+    bench::paperNote("uplift varies by up to ~30 points across SLs "
+                     "for GNMT; different SLs are differently "
+                     "sensitive to each feature.");
+    return 0;
+}

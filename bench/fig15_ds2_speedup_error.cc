@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates Fig 15: error (percentage points) in projecting DS2's
+ * throughput uplift between config pairs, per selector.
+ */
+
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    harness::Experiment exp(harness::makeDs2Workload());
+    double geo = bench::printSpeedupErrorFigure(exp,
+        "Fig 15: error in performance speedup projections for DS2");
+    bench::paperNote(csprintf(
+        "paper geomean for SeqPoint: 0.13pp; measured here: %.2fpp. "
+        "Paper: worst up to 27pp; frequent/median within ~2.5pp; "
+        "prior good except the #4->#1 pair (25pp).", geo));
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Fig 16: error (percentage points) in projecting GNMT's
+ * throughput uplift between config pairs, per selector.
+ */
+
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    harness::Experiment exp(harness::makeGnmtWorkload());
+    double geo = bench::printSpeedupErrorFigure(exp,
+        "Fig 16: error in performance speedup projections for GNMT");
+    bench::paperNote(csprintf(
+        "paper geomean for SeqPoint: 1.50pp; measured here: %.2fpp. "
+        "Paper: worst up to 22pp; median/frequent up to ~9pp.", geo));
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Bench support implementation.
+ */
+
+#include "support.hh"
+
+#include <cstdio>
+
+#include "common/stats_math.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+
+namespace seqpoint {
+namespace bench {
+
+const std::vector<core::SelectorKind> &
+selectorOrder()
+{
+    static const std::vector<core::SelectorKind> order = {
+        core::SelectorKind::Worst, core::SelectorKind::Frequent,
+        core::SelectorKind::Median, core::SelectorKind::Prior,
+        core::SelectorKind::SeqPoint,
+    };
+    return order;
+}
+
+double
+printTimeErrorFigure(harness::Experiment &exp, const std::string &caption)
+{
+    auto cfgs = sim::GpuConfig::table2();
+    auto sels = exp.buildAllSelections(cfgs[0]);
+
+    std::vector<std::string> headers{"selector"};
+    for (const auto &cfg : cfgs)
+        headers.push_back(cfg.name);
+    headers.push_back("geomean");
+    headers.push_back("points");
+    Table table(std::move(headers));
+
+    double seqpoint_geo = 0.0;
+    for (core::SelectorKind kind : selectorOrder()) {
+        const core::SeqPointSet &sel = sels.at(kind);
+        std::vector<std::string> row{core::selectorName(kind)};
+        std::vector<double> errs;
+        for (const auto &cfg : cfgs) {
+            double err = core::timeErrorPercent(
+                exp.projectedTrainSec(sel, cfg),
+                exp.actualTrainSec(cfg));
+            errs.push_back(err);
+            row.push_back(csprintf("%.2f%%", err));
+        }
+        double geo = geomean(errs);
+        if (kind == core::SelectorKind::SeqPoint)
+            seqpoint_geo = geo;
+        row.push_back(csprintf("%.2f%%", geo));
+        row.push_back(csprintf("%zu", sel.points.size()));
+        table.addRow(std::move(row));
+    }
+
+    std::printf("%s\n", table.render(caption).c_str());
+
+    const core::SeqPointSet &sp = sels.at(core::SelectorKind::SeqPoint);
+    std::printf("seqpoint: %zu points, %u bins, converged=%s, "
+                "self-error=%.3f%%\n",
+                sp.points.size(), sp.binsUsed,
+                sp.converged ? "yes" : "no", 100.0 * sp.selfError);
+    return seqpoint_geo;
+}
+
+double
+printSpeedupErrorFigure(harness::Experiment &exp,
+                        const std::string &caption)
+{
+    auto cfgs = sim::GpuConfig::table2();
+    auto sels = exp.buildAllSelections(cfgs[0]);
+
+    std::vector<std::string> headers{"selector"};
+    for (size_t i = 1; i < cfgs.size(); ++i)
+        headers.push_back(cfgs[i].name + "->#1");
+    headers.push_back("geomean");
+    Table table(std::move(headers));
+
+    double at1 = exp.actualThroughput(cfgs[0]);
+    double seqpoint_geo = 0.0;
+    for (core::SelectorKind kind : selectorOrder()) {
+        const core::SeqPointSet &sel = sels.at(kind);
+        std::vector<std::string> row{core::selectorName(kind)};
+        std::vector<double> errs;
+        double pt1 = exp.projectedThroughput(sel, cfgs[0]);
+        for (size_t i = 1; i < cfgs.size(); ++i) {
+            double atx = exp.actualThroughput(cfgs[i]);
+            double ptx = exp.projectedThroughput(sel, cfgs[i]);
+            double err = core::upliftErrorPoints(
+                core::upliftPercent(ptx, pt1),
+                core::upliftPercent(atx, at1));
+            errs.push_back(err);
+            row.push_back(csprintf("%.2fpp", err));
+        }
+        double geo = geomean(errs);
+        if (kind == core::SelectorKind::SeqPoint)
+            seqpoint_geo = geo;
+        row.push_back(csprintf("%.2fpp", geo));
+        table.addRow(std::move(row));
+    }
+
+    std::printf("%s\n", table.render(caption).c_str());
+
+    std::printf("actual uplifts vs config#1:");
+    for (size_t i = 1; i < cfgs.size(); ++i) {
+        std::printf(" %s:%.1f%%", cfgs[i].name.c_str(),
+                    core::upliftPercent(exp.actualThroughput(cfgs[i]),
+                                        at1));
+    }
+    std::printf("\n");
+    return seqpoint_geo;
+}
+
+void
+printSensitivityFigure(harness::Experiment &exp,
+                       const std::string &caption, int64_t sl_lo,
+                       int64_t sl_hi, int64_t step)
+{
+    auto cfgs = sim::GpuConfig::table2();
+    unsigned batch = exp.workload().batchSize;
+
+    std::vector<std::string> headers{"SL"};
+    for (size_t i = 1; i < cfgs.size(); ++i)
+        headers.push_back(cfgs[i].name + "->#1 uplift");
+    Table table(std::move(headers));
+
+    for (int64_t sl = sl_lo; sl <= sl_hi; sl += step) {
+        std::vector<std::string> row{csprintf("%lld",
+            static_cast<long long>(sl))};
+        double thr1 = static_cast<double>(batch) /
+            exp.iterTime(cfgs[0], sl);
+        for (size_t i = 1; i < cfgs.size(); ++i) {
+            double thrx = static_cast<double>(batch) /
+                exp.iterTime(cfgs[i], sl);
+            row.push_back(csprintf("%.1f%%",
+                core::upliftPercent(thrx, thr1)));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render(caption).c_str());
+}
+
+void
+paperNote(const std::string &text)
+{
+    std::printf("[paper] %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace seqpoint

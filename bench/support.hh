@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the paper-figure bench binaries: the selector
+ * grids behind Figs 11/12 and 15/16, the per-SL sensitivity sweeps of
+ * Figs 13/14, and small formatting utilities.
+ */
+
+#ifndef SEQPOINT_BENCH_SUPPORT_HH
+#define SEQPOINT_BENCH_SUPPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats_math.hh"
+#include "common/strutil.hh"
+#include "harness/experiment.hh"
+
+namespace seqpoint {
+namespace bench {
+
+/** Selector order used in every figure. */
+const std::vector<core::SelectorKind> &selectorOrder();
+
+/**
+ * Print the Fig 11/12 grid: training-time projection error (%) per
+ * selector (rows) per Table II configuration (columns), plus each
+ * selector's geomean, and the SeqPoint bin/point diagnostics.
+ *
+ * @param exp Experiment (selection is built on config #1).
+ * @param caption Figure caption.
+ * @return SeqPoint's geomean error (%), for summary lines.
+ */
+double printTimeErrorFigure(harness::Experiment &exp,
+                            const std::string &caption);
+
+/**
+ * Print the Fig 15/16 grid: throughput-uplift projection error
+ * (percentage points) per selector per config pair (#X -> #1).
+ *
+ * @param exp Experiment.
+ * @param caption Figure caption.
+ * @return SeqPoint's geomean error (pp).
+ */
+double printSpeedupErrorFigure(harness::Experiment &exp,
+                               const std::string &caption);
+
+/**
+ * Print the Fig 13/14 per-SL sensitivity series: throughput uplift
+ * (%) of config #1 over configs #2..#5, for a sweep of SLs.
+ *
+ * @param exp Experiment.
+ * @param caption Figure caption.
+ * @param sl_lo Sweep start.
+ * @param sl_hi Sweep end (inclusive).
+ * @param step Sweep step.
+ */
+void printSensitivityFigure(harness::Experiment &exp,
+                            const std::string &caption, int64_t sl_lo,
+                            int64_t sl_hi, int64_t step);
+
+/** Print a one-line paper-vs-measured note. */
+void paperNote(const std::string &text);
+
+} // namespace bench
+} // namespace seqpoint
+
+#endif // SEQPOINT_BENCH_SUPPORT_HH

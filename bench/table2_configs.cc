@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table II: the five hardware configurations used in the
+ * evaluation, plus derived peak numbers from the simulator.
+ */
+
+#include <cstdio>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "sim/gpu_config.hh"
+#include "support.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    Table table({"Config", "GCLK", "#CU", "L1 $", "L2 $",
+                 "peak TFLOP/s", "L2 GB/s"});
+
+    for (const sim::GpuConfig &cfg : sim::GpuConfig::table2()) {
+        table.addRow({cfg.name,
+                      csprintf("%.0f MHz", cfg.gclkHz / 1e6),
+                      csprintf("%u", cfg.numCus),
+                      csprintf("%llu KB",
+                          (unsigned long long)(cfg.l1SizeBytes / 1024)),
+                      csprintf("%llu MB",
+                          (unsigned long long)(cfg.l2SizeBytes /
+                                               (1024 * 1024))),
+                      csprintf("%.1f", cfg.peakFlops() / 1e12),
+                      csprintf("%.0f", cfg.l2Bandwidth() / 1e9)});
+    }
+
+    std::printf("%s\n", table.render(
+        "Table II: configurations used to evaluate SeqPoint").c_str());
+
+    bench::paperNote("#1: 1.6GHz/64CU/16KB/4MB; #2: 852MHz; #3: 16CU; "
+                     "#4: L1 off; #5: L2 off.");
+    return 0;
+}

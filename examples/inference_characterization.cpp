@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SeqPoint for inference (paper section VII-E): the SL-binning
+ * methodology applied to forward-only serving runs. Characterizes a
+ * GNMT inference stream, selects representative request lengths, and
+ * projects serving throughput on a smaller accelerator.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/strutil.hh"
+#include "core/projection.hh"
+#include "core/seqpoint.hh"
+#include "data/dataset.hh"
+#include "models/gnmt.hh"
+#include "nn/autotune.hh"
+#include "profiler/profiler.hh"
+#include "sim/gpu.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    nn::Model model = models::buildGnmt();
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    nn::Autotuner tuner(nn::Autotuner::Mode::Measured, &gpu);
+    const unsigned batch = 8; // serving batch
+
+    prof::Profiler profiler(gpu, model, tuner, batch);
+
+    // A day's worth of translation requests (IWSLT-like lengths).
+    data::Dataset requests = data::synthIwslt15(101);
+
+    // Inference runs have one SL per (small) batch; log per-request
+    // forward latency by SL.
+    std::vector<core::IterationSample> samples;
+    size_t logged = 0;
+    for (int64_t sl : requests.trainLens) {
+        samples.push_back(core::IterationSample{
+            sl, profiler.profileInference(sl).timeSec});
+        if (++logged == 6400)
+            break; // one characterization window
+    }
+    core::SlStats stats = core::SlStats::fromIterations(samples);
+
+    core::SeqPointOptions opts;
+    opts.errorThreshold = 0.005;
+    core::SeqPointSet sp = core::selectSeqPoints(stats, opts);
+
+    std::printf("inference characterization: %zu requests, %zu unique "
+                "SLs -> %zu representative lengths\n",
+                samples.size(), stats.uniqueCount(),
+                sp.points.size());
+
+    Table table({"request SL", "weight", "fwd latency (ms)"});
+    for (const auto &p : sp.points) {
+        table.addRow({csprintf("%lld", (long long)p.seqLen),
+                      csprintf("%.0f", p.weight),
+                      csprintf("%.2f", p.statValue * 1e3)});
+    }
+    std::printf("%s\n", table.render("Representative request "
+                                     "lengths").c_str());
+
+    // Project total serving time for the window on an edge device
+    // (quarter CUs) from just the representatives.
+    sim::GpuConfig edge = sim::GpuConfig::config3();
+    sim::Gpu edge_gpu(edge);
+    nn::Autotuner edge_tuner(nn::Autotuner::Mode::Measured, &edge_gpu);
+    prof::Profiler edge_profiler(edge_gpu, model, edge_tuner, batch);
+
+    double projected = sp.projectTotal([&](int64_t sl) {
+        return edge_profiler.profileInference(sl).timeSec;
+    });
+
+    double actual = 0.0;
+    for (const auto &s : samples)
+        actual += edge_profiler.profileInference(s.seqLen).timeSec;
+
+    std::printf("edge device (%s): projected window time %.2fs vs "
+                "actual %.2fs (error %.3f%%)\n",
+                edge.name.c_str(), projected, actual,
+                core::timeErrorPercent(projected, actual));
+    return 0;
+}

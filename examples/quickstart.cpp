@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: the 30-line SeqPoint workflow.
+ *
+ * 1. Pick a workload (GNMT on synthetic IWSLT'15, batch 64).
+ * 2. Run ONE training epoch on the reference device and log, per
+ *    unique sequence length, its frequency and iteration runtime.
+ * 3. Select SeqPoints (bin SLs, pick a representative per bin, weight
+ *    by bin size, refine k until the projection matches the epoch).
+ * 4. Re-measure only those few iterations on a different device and
+ *    project the whole training run there.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+
+using namespace seqpoint;
+
+int
+main()
+{
+    // (1) Workload and experiment driver.
+    harness::Experiment exp(harness::makeGnmtWorkload());
+
+    // (2) One epoch on the reference configuration (Table II #1).
+    sim::GpuConfig ref = sim::GpuConfig::config1();
+    std::printf("epoch on %s: %zu iterations, %.2fs training time\n",
+                ref.name.c_str(),
+                exp.epochLog(ref).numIterations(),
+                exp.actualTrainSec(ref));
+
+    // (3) SeqPoint selection from the epoch's SL log.
+    core::SeqPointSet sp =
+        exp.buildSelection(core::SelectorKind::SeqPoint, ref);
+    std::printf("selected %zu SeqPoints (k=%u bins, self-error "
+                "%.3f%%)\n",
+                sp.points.size(), sp.binsUsed, 100.0 * sp.selfError);
+    for (const auto &p : sp.points) {
+        std::printf("  SL %4lld  weight %5.0f  time %.1f ms\n",
+                    (long long)p.seqLen, p.weight,
+                    p.statValue * 1e3);
+    }
+
+    // (4) Project training time on a different device by running only
+    //     the SeqPoint iterations there.
+    sim::GpuConfig target = sim::GpuConfig::config2(); // 852 MHz
+    double projected = exp.projectedTrainSec(sp, target);
+    double actual = exp.actualTrainSec(target); // for validation only
+    std::printf("\n%s: projected %.2fs vs actual %.2fs "
+                "(error %.3f%%)\n",
+                target.name.c_str(), projected, actual,
+                core::timeErrorPercent(projected, actual));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CSV writer implementation.
+ */
+
+#include "common/csv.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace seqpoint {
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : columns(headers.size())
+{
+    panic_if(columns == 0, "CsvWriter: no columns");
+    for (size_t i = 0; i < headers.size(); ++i) {
+        if (i > 0)
+            body += ',';
+        body += escape(headers[i]);
+    }
+    body += '\n';
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    panic_if(cells.size() != columns,
+             "CsvWriter: row has %zu cells, expected %zu",
+             cells.size(), columns);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            body += ',';
+        body += escape(cells[i]);
+    }
+    body += '\n';
+}
+
+void
+CsvWriter::addRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(csprintf("%.6g", v));
+    addRow(cells);
+}
+
+std::string
+CsvWriter::str() const
+{
+    return body;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << body;
+    return static_cast<bool>(out);
+}
+
+} // namespace seqpoint

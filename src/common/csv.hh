@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV writer so bench harnesses can emit machine-readable
+ * series next to the human-readable tables.
+ */
+
+#ifndef SEQPOINT_COMMON_CSV_HH
+#define SEQPOINT_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace seqpoint {
+
+/**
+ * In-memory CSV document with RFC-4180-style quoting.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Construct with the header row.
+     *
+     * @param headers Column names; defines the column count.
+     */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a data row; must match the column count. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Append a row of doubles (rendered with %.6g). */
+    void addRow(const std::vector<double> &values);
+
+    /** @return Document text including the header row. */
+    std::string str() const;
+
+    /**
+     * Write the document to a file.
+     *
+     * @param path Destination path.
+     * @return true on success.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    size_t columns;
+    std::string body;
+
+    static std::string escape(const std::string &cell);
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_CSV_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace seqpoint {
+
+Histogram::Histogram(int64_t lo, int64_t hi, size_t buckets)
+    : lo(lo), hi(hi), counts(buckets, 0)
+{
+    panic_if(hi < lo, "Histogram: hi < lo");
+    panic_if(buckets == 0, "Histogram: zero buckets");
+}
+
+size_t
+Histogram::bucketFor(int64_t value) const
+{
+    if (value <= lo)
+        return 0;
+    if (value >= hi)
+        return counts.size() - 1;
+    // Width as double to avoid overflow on wide ranges.
+    double span = static_cast<double>(hi - lo + 1);
+    double pos = static_cast<double>(value - lo) / span;
+    size_t idx = static_cast<size_t>(pos *
+        static_cast<double>(counts.size()));
+    return std::min(idx, counts.size() - 1);
+}
+
+void
+Histogram::add(int64_t value, uint64_t count)
+{
+    counts[bucketFor(value)] += count;
+    total_ += count;
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    panic_if(i >= counts.size(), "Histogram: bucket index out of range");
+    return counts[i];
+}
+
+int64_t
+Histogram::bucketLo(size_t i) const
+{
+    panic_if(i >= counts.size(), "Histogram: bucket index out of range");
+    double span = static_cast<double>(hi - lo + 1);
+    return lo + static_cast<int64_t>(span * static_cast<double>(i) /
+        static_cast<double>(counts.size()));
+}
+
+int64_t
+Histogram::bucketHi(size_t i) const
+{
+    panic_if(i >= counts.size(), "Histogram: bucket index out of range");
+    if (i + 1 == counts.size())
+        return hi;
+    return bucketLo(i + 1) - 1;
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts)
+        peak = std::max(peak, c);
+
+    std::string out;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        size_t bar = (peak == 0) ? 0 :
+            static_cast<size_t>(static_cast<double>(counts[i]) /
+                static_cast<double>(peak) *
+                static_cast<double>(width));
+        out += csprintf("[%6lld, %6lld] %6llu |",
+            static_cast<long long>(bucketLo(i)),
+            static_cast<long long>(bucketHi(i)),
+            static_cast<unsigned long long>(counts[i]));
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace seqpoint

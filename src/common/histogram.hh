@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-range histogram used for sequence-length distributions (Fig 7)
+ * and counter summaries.
+ */
+
+#ifndef SEQPOINT_COMMON_HISTOGRAM_HH
+#define SEQPOINT_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seqpoint {
+
+/**
+ * Equal-width bucket histogram over a closed integer range.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Construct with the value range and bucket count.
+     *
+     * @param lo Smallest representable value.
+     * @param hi Largest representable value; must be >= lo.
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Histogram(int64_t lo, int64_t hi, size_t buckets);
+
+    /**
+     * Record one observation; values outside [lo, hi] are clamped to
+     * the first/last bucket.
+     *
+     * @param value Observed value.
+     * @param count Occurrences to add (default 1).
+     */
+    void add(int64_t value, uint64_t count = 1);
+
+    /** @return Number of buckets. */
+    size_t numBuckets() const { return counts.size(); }
+
+    /** @return Count in bucket i. */
+    uint64_t bucketCount(size_t i) const;
+
+    /** @return Inclusive lower bound of bucket i. */
+    int64_t bucketLo(size_t i) const;
+
+    /** @return Inclusive upper bound of bucket i. */
+    int64_t bucketHi(size_t i) const;
+
+    /** @return Total observations recorded. */
+    uint64_t total() const { return total_; }
+
+    /**
+     * Render as an ASCII bar chart, one line per bucket.
+     *
+     * @param width Maximum bar width in characters.
+     * @return Multi-line chart string.
+     */
+    std::string render(size_t width = 50) const;
+
+  private:
+    int64_t lo;
+    int64_t hi;
+    std::vector<uint64_t> counts;
+    uint64_t total_ = 0;
+
+    size_t bucketFor(int64_t value) const;
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_HISTOGRAM_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace seqpoint {
+
+namespace {
+
+std::atomic<uint64_t> warn_count{0};
+std::atomic<bool> quiet{false};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+logMessage(LogLevel level, const std::string &where, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+
+    bool muted = quiet.load(std::memory_order_relaxed) &&
+        (level == LogLevel::Inform || level == LogLevel::Warn);
+
+    if (!muted) {
+        FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
+        if (where.empty()) {
+            std::fprintf(out, "%s: %s\n", levelTag(level), msg.c_str());
+        } else {
+            std::fprintf(out, "%s: %s (%s)\n", levelTag(level), msg.c_str(),
+                         where.c_str());
+        }
+        std::fflush(out);
+    }
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+void
+setQuietLogging(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+} // namespace seqpoint

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status-message and error-exit helpers in the gem5 idiom.
+ *
+ * panic()  -- internal invariant violated; aborts (simulator bug).
+ * fatal()  -- the user asked for something impossible; exits cleanly.
+ * warn()   -- functionality works but may be approximate.
+ * inform() -- plain status output, no connotation of a problem.
+ */
+
+#ifndef SEQPOINT_COMMON_LOGGING_HH
+#define SEQPOINT_COMMON_LOGGING_HH
+
+#include <string>
+
+namespace seqpoint {
+
+/** Severity levels understood by logMessage(). */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Emit one formatted message on stderr (or stdout for Inform).
+ *
+ * Fatal exits with status 1; Panic calls abort(). Never returns for
+ * those two levels.
+ *
+ * @param level Message severity.
+ * @param where "file:line" location string, may be empty.
+ * @param msg Fully formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &where,
+                const std::string &msg);
+
+/**
+ * Count of warn() calls so far; used by tests to assert warnings fired.
+ *
+ * @return Number of Warn-level messages emitted by this process.
+ */
+uint64_t warnCount();
+
+/** Suppress (true) or restore (false) Inform/Warn console output. */
+void setQuietLogging(bool quiet);
+
+} // namespace seqpoint
+
+#include "common/strutil.hh"
+
+/** Abort with a message: internal invariant violated. */
+#define panic(...)                                                         \
+    ::seqpoint::logMessage(::seqpoint::LogLevel::Panic,                    \
+        ::seqpoint::csprintf("%s:%d", __FILE__, __LINE__),                 \
+        ::seqpoint::csprintf(__VA_ARGS__))
+
+/** Exit(1) with a message: user-caused unrecoverable condition. */
+#define fatal(...)                                                         \
+    ::seqpoint::logMessage(::seqpoint::LogLevel::Fatal,                    \
+        ::seqpoint::csprintf("%s:%d", __FILE__, __LINE__),                 \
+        ::seqpoint::csprintf(__VA_ARGS__))
+
+/** Warn and continue. */
+#define warn(...)                                                          \
+    ::seqpoint::logMessage(::seqpoint::LogLevel::Warn, "",                 \
+        ::seqpoint::csprintf(__VA_ARGS__))
+
+/** Informational message. */
+#define inform(...)                                                        \
+    ::seqpoint::logMessage(::seqpoint::LogLevel::Inform, "",               \
+        ::seqpoint::csprintf(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** fatal() if the given condition holds. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+#endif // SEQPOINT_COMMON_LOGGING_HH

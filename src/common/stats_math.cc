@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of scalar statistics helpers.
+ */
+
+#include "common/stats_math.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stdev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    constexpr double tiny = 1e-12;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0) {
+            warn("geomean: clamping non-positive value %g to %g", x, tiny);
+            x = tiny;
+        }
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+sum(const std::vector<double> &xs)
+{
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s;
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::min(m, x);
+    return m;
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::max(m, x);
+    return m;
+}
+
+double
+weightedMean(const std::vector<double> &xs, const std::vector<double> &ws)
+{
+    panic_if(xs.size() != ws.size(),
+             "weightedMean: length mismatch (%zu vs %zu)",
+             xs.size(), ws.size());
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        panic_if(ws[i] < 0, "weightedMean: negative weight");
+        num += xs[i] * ws[i];
+        den += ws[i];
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    panic_if(p < 0.0 || p > 100.0, "percentile: p out of range: %g", p);
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = static_cast<size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+relError(double predicted, double actual)
+{
+    panic_if(actual == 0.0, "relError: actual is zero");
+    return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+LinearFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panic_if(xs.size() != ys.size(), "fitLine: length mismatch");
+    panic_if(xs.size() < 2, "fitLine: need at least 2 points");
+
+    double mx = mean(xs), my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+
+    LinearFit fit;
+    if (sxx == 0.0) {
+        fit.slope = 0.0;
+        fit.intercept = my;
+        fit.r2 = 0.0;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panic_if(xs.size() != ys.size(), "pearson: length mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    double mx = mean(xs), my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace seqpoint

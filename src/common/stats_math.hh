@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scalar statistics helpers shared by the profiler, the SeqPoint core,
+ * and the benchmark harnesses.
+ */
+
+#ifndef SEQPOINT_COMMON_STATS_MATH_HH
+#define SEQPOINT_COMMON_STATS_MATH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace seqpoint {
+
+/** @return Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** @return Population standard deviation; 0 for fewer than 2 values. */
+double stdev(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of strictly positive values.
+ *
+ * Values <= 0 are clamped to a tiny epsilon with a warning, matching
+ * the common practice when summarising near-zero error percentages.
+ *
+ * @param xs Input values.
+ * @return Geometric mean; 0 for an empty input.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** @return Sum of the values. */
+double sum(const std::vector<double> &xs);
+
+/** @return Minimum; +inf for an empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** @return Maximum; -inf for an empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Weighted arithmetic mean.
+ *
+ * @param xs Values.
+ * @param ws Non-negative weights, same length as xs.
+ * @return sum(x*w)/sum(w); 0 when the weights sum to 0.
+ */
+double weightedMean(const std::vector<double> &xs,
+                    const std::vector<double> &ws);
+
+/**
+ * Percentile via linear interpolation between order statistics.
+ *
+ * @param xs Input values (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Relative error |predicted - actual| / |actual|, as a fraction.
+ *
+ * @param predicted Projected value.
+ * @param actual Reference value; must be non-zero.
+ */
+double relError(double predicted, double actual);
+
+/** Result of an ordinary least-squares line fit. */
+struct LinearFit {
+    double slope = 0.0;     ///< Fitted slope.
+    double intercept = 0.0; ///< Fitted intercept.
+    double r2 = 0.0;        ///< Coefficient of determination.
+};
+
+/**
+ * Least-squares fit of y = slope * x + intercept.
+ *
+ * @param xs Abscissae.
+ * @param ys Ordinates, same length as xs (>= 2 points).
+ */
+LinearFit fitLine(const std::vector<double> &xs,
+                  const std::vector<double> &ys);
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ *
+ * @return Correlation in [-1, 1]; 0 if either series is constant.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_STATS_MATH_HH

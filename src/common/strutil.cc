@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of string helpers.
+ */
+
+#include "common/strutil.hh"
+
+#include <cstdio>
+
+namespace seqpoint {
+
+std::string
+vcsprintf(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vcsprintf(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+std::string
+compactDouble(double value, int max_decimals)
+{
+    std::string s = csprintf("%.*f", max_decimals, value);
+    if (s.find('.') == std::string::npos)
+        return s;
+    while (!s.empty() && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s;
+}
+
+} // namespace seqpoint

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table writer implementation.
+ */
+
+#include "common/table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace seqpoint {
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    panic_if(this->headers.empty(), "Table: no columns");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers.size(),
+             "Table: row has %zu cells, expected %zu",
+             cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              const char *fmt)
+{
+    panic_if(values.size() + 1 != headers.size(),
+             "Table: row has %zu cells, expected %zu",
+             values.size() + 1, headers.size());
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(csprintf(fmt, v));
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers.size(), 0);
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += ' ';
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        return line + '\n';
+    };
+
+    std::string sep = "+";
+    for (size_t c = 0; c < headers.size(); ++c) {
+        sep.append(widths[c] + 2, '-');
+        sep += '+';
+    }
+    sep += '\n';
+
+    std::string out = sep + render_row(headers) + sep;
+    for (const auto &row : rows)
+        out += render_row(row);
+    out += sep;
+    return out;
+}
+
+std::string
+Table::render(const std::string &caption) const
+{
+    return caption + "\n" + render();
+}
+
+} // namespace seqpoint

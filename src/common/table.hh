@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table writer used by the bench harnesses to print paper-style
+ * table and figure data.
+ */
+
+#ifndef SEQPOINT_COMMON_TABLE_HH
+#define SEQPOINT_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace seqpoint {
+
+/**
+ * Column-aligned ASCII table with a header row.
+ */
+class Table
+{
+  public:
+    /**
+     * Construct with column headers.
+     *
+     * @param headers Column names; defines the column count.
+     */
+    explicit Table(std::vector<std::string> headers);
+
+    /**
+     * Append a row; must match the column count.
+     *
+     * @param cells Cell strings, one per column.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: append a row of printf-formatted doubles. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                const char *fmt = "%.3f");
+
+    /** @return Number of data rows. */
+    size_t numRows() const { return rows.size(); }
+
+    /** @return The rendered table, newline terminated. */
+    std::string render() const;
+
+    /** Render with a caption line above the table. */
+    std::string render(const std::string &caption) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_TABLE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit helpers: clock rates, capacities and time in consistent SI
+ * units. Internally the simulator works in seconds, bytes, and hertz.
+ */
+
+#ifndef SEQPOINT_COMMON_UNITS_HH
+#define SEQPOINT_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace seqpoint {
+
+/** Kibibytes to bytes. */
+constexpr uint64_t
+kib(uint64_t n)
+{
+    return n * 1024ULL;
+}
+
+/** Mebibytes to bytes. */
+constexpr uint64_t
+mib(uint64_t n)
+{
+    return n * 1024ULL * 1024ULL;
+}
+
+/** Gibibytes to bytes. */
+constexpr uint64_t
+gib(uint64_t n)
+{
+    return n * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/** Megahertz to hertz. */
+constexpr double
+mhz(double f)
+{
+    return f * 1e6;
+}
+
+/** Gigahertz to hertz. */
+constexpr double
+ghz(double f)
+{
+    return f * 1e9;
+}
+
+/** GB/s to bytes per second. */
+constexpr double
+gbps(double bw)
+{
+    return bw * 1e9;
+}
+
+/** Microseconds to seconds. */
+constexpr double
+usec(double t)
+{
+    return t * 1e-6;
+}
+
+/** Milliseconds to seconds. */
+constexpr double
+msec(double t)
+{
+    return t * 1e-3;
+}
+
+/** Seconds to microseconds (for reporting). */
+constexpr double
+toUsec(double seconds)
+{
+    return seconds * 1e6;
+}
+
+/** Seconds to milliseconds (for reporting). */
+constexpr double
+toMsec(double seconds)
+{
+    return seconds * 1e3;
+}
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_UNITS_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Baseline selector implementations.
+ */
+
+#include "core/baselines.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats_math.hh"
+
+namespace seqpoint {
+namespace core {
+
+const char *
+selectorName(SelectorKind kind)
+{
+    switch (kind) {
+      case SelectorKind::Worst: return "worst";
+      case SelectorKind::Frequent: return "frequent";
+      case SelectorKind::Median: return "median";
+      case SelectorKind::Prior: return "prior";
+      case SelectorKind::SeqPoint: return "seqpoint";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Build a single-SL selection standing for the whole epoch. */
+SeqPointSet
+singleSlSelection(const SlStats &stats, int64_t sl)
+{
+    const SlEntry *entry = stats.find(sl);
+    panic_if(entry == nullptr, "singleSlSelection: SL %lld not in stats",
+             static_cast<long long>(sl));
+
+    SeqPointSet set;
+    set.points.push_back(SeqPointRecord{
+        sl, static_cast<double>(stats.totalIterations()),
+        entry->statValue});
+    double actual = stats.actualTotal();
+    set.selfError = actual != 0.0
+        ? relError(set.projectTotal(), actual) : 0.0;
+    set.converged = true;
+    return set;
+}
+
+} // anonymous namespace
+
+SeqPointSet
+selectFrequent(const SlStats &stats)
+{
+    return singleSlSelection(stats, stats.mostFrequentSl());
+}
+
+SeqPointSet
+selectMedian(const SlStats &stats)
+{
+    return singleSlSelection(stats, stats.medianSl());
+}
+
+SeqPointSet
+selectWorst(const SlStats &stats)
+{
+    panic_if(stats.uniqueCount() == 0, "selectWorst: empty stats");
+    double actual = stats.actualTotal();
+    double total_iters = static_cast<double>(stats.totalIterations());
+
+    int64_t worst_sl = stats.entries().front().seqLen;
+    double worst_err = -1.0;
+    for (const SlEntry &e : stats.entries()) {
+        double projected = e.statValue * total_iters;
+        double err = actual != 0.0
+            ? std::fabs(projected - actual) / std::fabs(actual) : 0.0;
+        if (err > worst_err) {
+            worst_err = err;
+            worst_sl = e.seqLen;
+        }
+    }
+    return singleSlSelection(stats, worst_sl);
+}
+
+SeqPointSet
+selectPrior(const std::vector<IterationSample> &epoch_order,
+            unsigned warmup, unsigned count)
+{
+    fatal_if(count == 0, "selectPrior: zero sample count");
+    fatal_if(epoch_order.size() < warmup + count,
+             "selectPrior: epoch too short (%zu) for warmup %u + "
+             "samples %u", epoch_order.size(), warmup, count);
+
+    double total_iters = static_cast<double>(epoch_order.size());
+    double weight_each = total_iters / static_cast<double>(count);
+
+    // Merge sampled iterations by SL, accumulating weight and
+    // averaging the statistic.
+    std::map<int64_t, SeqPointRecord> merged;
+    for (unsigned i = 0; i < count; ++i) {
+        const IterationSample &s = epoch_order[warmup + i];
+        SeqPointRecord &rec = merged[s.seqLen];
+        if (rec.weight == 0.0) {
+            rec.seqLen = s.seqLen;
+            rec.statValue = s.statValue;
+        } else {
+            // Running average over duplicates of this SL.
+            double n_prev = rec.weight / weight_each;
+            rec.statValue = (rec.statValue * n_prev + s.statValue) /
+                (n_prev + 1.0);
+        }
+        rec.weight += weight_each;
+    }
+
+    SeqPointSet set;
+    for (auto &[sl, rec] : merged)
+        set.points.push_back(rec);
+    set.converged = true;
+
+    double actual = 0.0;
+    for (const IterationSample &s : epoch_order)
+        actual += s.statValue;
+    set.selfError = actual != 0.0
+        ? relError(set.projectTotal(), actual) : 0.0;
+    return set;
+}
+
+} // namespace core
+} // namespace seqpoint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The selection baselines the paper evaluates against (section VI-C):
+ * Frequent, Median, Worst (single-iteration proxies informed by the
+ * SL insight) and Prior (the sampling approach of Zhu et al.,
+ * IISWC'18: a fixed number of contiguous iterations after a warmup).
+ */
+
+#ifndef SEQPOINT_CORE_BASELINES_HH
+#define SEQPOINT_CORE_BASELINES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/seqpoint.hh"
+#include "core/sl_log.hh"
+
+namespace seqpoint {
+namespace core {
+
+/** Selector identities used across the evaluation harness. */
+enum class SelectorKind {
+    Worst,    ///< Adversarial single iteration.
+    Frequent, ///< Most frequent SL.
+    Median,   ///< Median SL.
+    Prior,    ///< 50 contiguous iterations after warmup.
+    SeqPoint, ///< This paper's selection.
+};
+
+/** @return Display name ("worst", "frequent", ...). */
+const char *selectorName(SelectorKind kind);
+
+/**
+ * Frequent: the single most frequent SL, weighted by the full epoch's
+ * iteration count.
+ *
+ * @param stats Per-SL statistics.
+ */
+SeqPointSet selectFrequent(const SlStats &stats);
+
+/**
+ * Median: the median-SL iteration, weighted by the full epoch.
+ *
+ * @param stats Per-SL statistics.
+ */
+SeqPointSet selectMedian(const SlStats &stats);
+
+/**
+ * Worst: the single SL whose whole-epoch extrapolation has the
+ * largest error on the reference statistic -- the bound on arbitrary
+ * single-iteration selection.
+ *
+ * @param stats Per-SL statistics.
+ */
+SeqPointSet selectWorst(const SlStats &stats);
+
+/**
+ * Prior: `count` contiguous iterations starting after `warmup`
+ * iterations of the epoch, in execution order. Iterations of equal SL
+ * are merged; each sampled iteration stands for an equal share of the
+ * epoch.
+ *
+ * The default warmup skips past the framework's initialisation and
+ * autotune churn, which for these workloads covers a large part of
+ * the first epoch. Because DS2 sorts its first epoch by SL, this
+ * drops Prior's window into the mid-length region whose runtimes
+ * track the epoch mean -- the accidental-accuracy artifact the paper
+ * dissects in section VI-D.
+ *
+ * @param epoch_order Per-iteration observations in execution order.
+ * @param warmup Iterations skipped from the start.
+ * @param count Iterations sampled.
+ */
+SeqPointSet selectPrior(const std::vector<IterationSample> &epoch_order,
+                        unsigned warmup = 300, unsigned count = 50);
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_BASELINES_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Binning implementation.
+ */
+
+#include "core/binning.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace core {
+
+namespace {
+
+std::vector<Bin>
+binEqualWidth(const SlStats &stats, unsigned k)
+{
+    const auto &entries = stats.entries();
+    double lo = static_cast<double>(stats.minSl());
+    double hi = static_cast<double>(stats.maxSl());
+    double width = (hi - lo + 1.0) / static_cast<double>(k);
+
+    std::vector<Bin> bins;
+    size_t i = 0;
+    for (unsigned b = 0; b < k && i < entries.size(); ++b) {
+        double upper = lo + width * static_cast<double>(b + 1);
+        size_t first = i;
+        while (i < entries.size() &&
+               (static_cast<double>(entries[i].seqLen) < upper ||
+                b + 1 == k)) {
+            ++i;
+        }
+        if (i > first)
+            bins.push_back(Bin{first, i - 1});
+    }
+    return bins;
+}
+
+std::vector<Bin>
+binEqualFrequency(const SlStats &stats, unsigned k)
+{
+    const auto &entries = stats.entries();
+    uint64_t total = stats.totalIterations();
+    double per_bin = static_cast<double>(total) / static_cast<double>(k);
+
+    std::vector<Bin> bins;
+    size_t i = 0;
+    uint64_t consumed = 0;
+    for (unsigned b = 0; b < k && i < entries.size(); ++b) {
+        double target = per_bin * static_cast<double>(b + 1);
+        size_t first = i;
+        while (i < entries.size() &&
+               (static_cast<double>(consumed) < target || b + 1 == k)) {
+            consumed += entries[i].freq;
+            ++i;
+        }
+        if (i > first)
+            bins.push_back(Bin{first, i - 1});
+    }
+    return bins;
+}
+
+} // anonymous namespace
+
+std::vector<Bin>
+binEntries(const SlStats &stats, unsigned k, BinningMode mode)
+{
+    fatal_if(k == 0, "binEntries: zero bucket count");
+    panic_if(stats.uniqueCount() == 0, "binEntries: empty stats");
+
+    switch (mode) {
+      case BinningMode::EqualWidth:
+        return binEqualWidth(stats, k);
+      case BinningMode::EqualFrequency:
+        return binEqualFrequency(stats, k);
+    }
+    panic("binEntries: bad mode");
+    return {};
+}
+
+uint64_t
+binIterations(const SlStats &stats, const Bin &bin)
+{
+    const auto &entries = stats.entries();
+    panic_if(bin.last >= entries.size(), "binIterations: bad bin");
+    uint64_t total = 0;
+    for (size_t i = bin.first; i <= bin.last; ++i)
+        total += entries[i].freq;
+    return total;
+}
+
+double
+binMeanStat(const SlStats &stats, const Bin &bin)
+{
+    const auto &entries = stats.entries();
+    panic_if(bin.last >= entries.size(), "binMeanStat: bad bin");
+    double num = 0.0;
+    for (size_t i = bin.first; i <= bin.last; ++i)
+        num += entries[i].statValue;
+    return num / static_cast<double>(bin.count());
+}
+
+double
+binMeanStatWeighted(const SlStats &stats, const Bin &bin)
+{
+    const auto &entries = stats.entries();
+    panic_if(bin.last >= entries.size(), "binMeanStatWeighted: bad bin");
+    double num = 0.0;
+    double den = 0.0;
+    for (size_t i = bin.first; i <= bin.last; ++i) {
+        num += static_cast<double>(entries[i].freq) *
+            entries[i].statValue;
+        den += static_cast<double>(entries[i].freq);
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace core
+} // namespace seqpoint

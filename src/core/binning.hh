@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sequence-length binning (step 2 of the SeqPoint mechanism): split
+ * the sorted unique-SL list into k buckets of contiguous SL ranges,
+ * exploiting the observation that nearby SLs behave alike.
+ */
+
+#ifndef SEQPOINT_CORE_BINNING_HH
+#define SEQPOINT_CORE_BINNING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/sl_log.hh"
+
+namespace seqpoint {
+namespace core {
+
+/** How bucket boundaries are placed. */
+enum class BinningMode {
+    EqualWidth,     ///< Equal SL-range width per bucket (the paper).
+    EqualFrequency, ///< Equal iteration count per bucket (ablation).
+};
+
+/** A bucket: an index range [first, last] into SlStats::entries(). */
+struct Bin {
+    size_t first = 0; ///< First entry index (inclusive).
+    size_t last = 0;  ///< Last entry index (inclusive).
+
+    /** @return Number of unique SLs in the bucket. */
+    size_t count() const { return last - first + 1; }
+};
+
+/**
+ * Bin the unique SLs into at most k non-empty buckets.
+ *
+ * EqualWidth places boundaries at equal SL intervals across
+ * [minSl, maxSl]; buckets that receive no unique SL are dropped, so
+ * fewer than k bins may be returned. EqualFrequency balances the
+ * iteration counts instead.
+ *
+ * @param stats Per-SL statistics.
+ * @param k Requested bucket count (>= 1).
+ * @param mode Boundary placement policy.
+ * @return Non-empty buckets in ascending SL order.
+ */
+std::vector<Bin> binEntries(const SlStats &stats, unsigned k,
+                            BinningMode mode);
+
+/** Iteration count (sum of frequencies) inside a bucket. */
+uint64_t binIterations(const SlStats &stats, const Bin &bin);
+
+/**
+ * Unweighted mean statistic over the unique SLs inside a bucket (the
+ * paper's bin average: bins hold SLs, not iterations).
+ */
+double binMeanStat(const SlStats &stats, const Bin &bin);
+
+/** Frequency-weighted mean statistic inside a bucket (ablation). */
+double binMeanStatWeighted(const SlStats &stats, const Bin &bin);
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_BINNING_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Weighted k-means implementation.
+ */
+
+#include "core/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats_math.hh"
+
+namespace seqpoint {
+namespace core {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+}
+
+} // anonymous namespace
+
+KmeansResult
+kmeans(const std::vector<std::vector<double>> &points,
+       const std::vector<double> &weights, const KmeansOptions &opts)
+{
+    fatal_if(points.empty(), "kmeans: no points");
+    fatal_if(points.size() != weights.size(),
+             "kmeans: %zu points but %zu weights", points.size(),
+             weights.size());
+    fatal_if(opts.k == 0 || opts.k > points.size(),
+             "kmeans: k=%u out of range for %zu points", opts.k,
+             points.size());
+
+    size_t dim = points[0].size();
+    for (const auto &p : points)
+        fatal_if(p.size() != dim, "kmeans: inconsistent dimensions");
+
+    Rng rng(opts.seed, 0x5eed);
+
+    // k-means++ initialisation.
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(opts.k);
+    centroids.push_back(points[rng.weightedIndex(weights)]);
+    while (centroids.size() < opts.k) {
+        std::vector<double> d2(points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : centroids)
+                best = std::min(best, sqDist(points[i], c));
+            d2[i] = best * std::max(weights[i], 1e-12);
+        }
+        centroids.push_back(points[rng.weightedIndex(d2)]);
+    }
+
+    KmeansResult res;
+    res.assignment.assign(points.size(), 0);
+
+    for (unsigned iter = 0; iter < opts.maxIters; ++iter) {
+        res.iterations = iter + 1;
+
+        // Assignment step.
+        bool changed = false;
+        for (size_t i = 0; i < points.size(); ++i) {
+            unsigned best_c = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (unsigned c = 0; c < centroids.size(); ++c) {
+                double d = sqDist(points[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            if (res.assignment[i] != best_c) {
+                res.assignment[i] = best_c;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        std::vector<std::vector<double>> sums(
+            opts.k, std::vector<double>(dim, 0.0));
+        std::vector<double> wsum(opts.k, 0.0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            unsigned c = res.assignment[i];
+            wsum[c] += weights[i];
+            for (size_t d = 0; d < dim; ++d)
+                sums[c][d] += weights[i] * points[i][d];
+        }
+        for (unsigned c = 0; c < opts.k; ++c) {
+            if (wsum[c] <= 0.0)
+                continue; // keep the previous centroid
+            for (size_t d = 0; d < dim; ++d)
+                centroids[c][d] = sums[c][d] / wsum[c];
+        }
+
+        if (!changed && iter > 0)
+            break;
+    }
+
+    res.centroids = std::move(centroids);
+    res.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        res.inertia += weights[i] *
+            sqDist(points[i], res.centroids[res.assignment[i]]);
+    }
+    return res;
+}
+
+SeqPointSet
+selectByKmeans(const SlStats &stats, unsigned k, uint64_t seed)
+{
+    panic_if(stats.uniqueCount() == 0, "selectByKmeans: empty stats");
+    k = static_cast<unsigned>(
+        std::min<size_t>(k, stats.uniqueCount()));
+
+    const auto &entries = stats.entries();
+
+    // Feature: the execution statistic, normalised so the clustering
+    // is scale-free (the paper clusters execution profiles; runtime
+    // is its validated proxy).
+    double max_stat = 0.0;
+    for (const SlEntry &e : entries)
+        max_stat = std::max(max_stat, e.statValue);
+    fatal_if(max_stat <= 0.0, "selectByKmeans: all statistics zero");
+
+    std::vector<std::vector<double>> points;
+    std::vector<double> weights;
+    points.reserve(entries.size());
+    weights.reserve(entries.size());
+    for (const SlEntry &e : entries) {
+        points.push_back({e.statValue / max_stat});
+        weights.push_back(static_cast<double>(e.freq));
+    }
+
+    KmeansOptions kopts;
+    kopts.k = k;
+    kopts.seed = seed;
+    KmeansResult km = kmeans(points, weights, kopts);
+
+    // Representative per cluster: member closest to the centroid;
+    // weight: the cluster's iteration count.
+    std::vector<int64_t> rep(k, -1);
+    std::vector<double> rep_d(k, std::numeric_limits<double>::infinity());
+    std::vector<double> cluster_w(k, 0.0);
+    std::vector<size_t> rep_idx(k, 0);
+    for (size_t i = 0; i < entries.size(); ++i) {
+        unsigned c = km.assignment[i];
+        cluster_w[c] += static_cast<double>(entries[i].freq);
+        double d = sqDist(points[i], km.centroids[c]);
+        if (d < rep_d[c]) {
+            rep_d[c] = d;
+            rep[c] = entries[i].seqLen;
+            rep_idx[c] = i;
+        }
+    }
+
+    SeqPointSet set;
+    set.binsUsed = k;
+    for (unsigned c = 0; c < k; ++c) {
+        if (rep[c] < 0 || cluster_w[c] <= 0.0)
+            continue; // empty cluster
+        set.points.push_back(SeqPointRecord{
+            rep[c], cluster_w[c], entries[rep_idx[c]].statValue});
+    }
+    std::sort(set.points.begin(), set.points.end(),
+              [](const SeqPointRecord &a, const SeqPointRecord &b) {
+                  return a.seqLen < b.seqLen;
+              });
+
+    double actual = stats.actualTotal();
+    set.selfError = actual != 0.0
+        ? relError(set.projectTotal(), actual) : 0.0;
+    set.converged = true;
+    return set;
+}
+
+} // namespace core
+} // namespace seqpoint

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Weighted k-means clustering: the "more sophisticated" alternative
+ * the paper considered (section VII-C) and found to match simple SL
+ * binning. Provided both as a generic clustering utility and as a
+ * drop-in SeqPoint selector for the comparison bench.
+ */
+
+#ifndef SEQPOINT_CORE_KMEANS_HH
+#define SEQPOINT_CORE_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/seqpoint.hh"
+#include "core/sl_log.hh"
+
+namespace seqpoint {
+namespace core {
+
+/** k-means tunables. */
+struct KmeansOptions {
+    unsigned k = 5;          ///< Cluster count.
+    unsigned maxIters = 100; ///< Lloyd iteration cap.
+    uint64_t seed = 42;      ///< k-means++ seeding.
+};
+
+/** k-means clustering result. */
+struct KmeansResult {
+    std::vector<unsigned> assignment; ///< Cluster id per point.
+    std::vector<std::vector<double>> centroids; ///< Final centroids.
+    double inertia = 0.0;    ///< Weighted within-cluster SSE.
+    unsigned iterations = 0; ///< Lloyd iterations executed.
+};
+
+/**
+ * Weighted Lloyd's k-means with k-means++ initialisation.
+ *
+ * @param points Feature vectors (all the same dimension).
+ * @param weights Non-negative per-point weights.
+ * @param opts Tunables; k must not exceed the point count.
+ * @return Clustering result (deterministic for a given seed).
+ */
+KmeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    const std::vector<double> &weights,
+                    const KmeansOptions &opts);
+
+/**
+ * SeqPoint-style selection via k-means over per-SL execution
+ * statistics: each unique SL is a point (features: normalised
+ * statistic), weighted by frequency; the representative of a cluster
+ * is the member closest to the centroid; its weight is the cluster's
+ * iteration count.
+ *
+ * @param stats Per-SL statistics.
+ * @param k Cluster count.
+ * @param seed Seeding for k-means++.
+ */
+SeqPointSet selectByKmeans(const SlStats &stats, unsigned k,
+                           uint64_t seed = 42);
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_KMEANS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Projection helper implementation.
+ */
+
+#include "core/projection.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace core {
+
+double
+projectTrainingTime(const SeqPointSet &sel, const SlStatFn &time_for_sl)
+{
+    return sel.projectTotal(time_for_sl);
+}
+
+double
+projectThroughput(const SeqPointSet &sel, unsigned batch,
+                  const SlStatFn &time_for_sl)
+{
+    fatal_if(batch == 0, "projectThroughput: zero batch");
+    double time = sel.projectTotal(time_for_sl);
+    if (time <= 0.0)
+        return 0.0;
+    return sel.totalWeight() * static_cast<double>(batch) / time;
+}
+
+double
+upliftPercent(double thr_from, double thr_to)
+{
+    fatal_if(thr_from <= 0.0, "upliftPercent: non-positive baseline");
+    return (thr_to / thr_from - 1.0) * 100.0;
+}
+
+double
+timeErrorPercent(double projected, double actual)
+{
+    fatal_if(actual == 0.0, "timeErrorPercent: zero actual");
+    return std::fabs(projected - actual) / std::fabs(actual) * 100.0;
+}
+
+double
+upliftErrorPoints(double uplift_proj, double uplift_actual)
+{
+    return std::fabs(uplift_proj - uplift_actual);
+}
+
+} // namespace core
+} // namespace seqpoint

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Projection helpers shared by the evaluation: turning a selection
+ * plus per-SL measurements into whole-run time, throughput and
+ * speedup-uplift estimates, and the error metrics of Figs 11/12 and
+ * 15/16.
+ */
+
+#ifndef SEQPOINT_CORE_PROJECTION_HH
+#define SEQPOINT_CORE_PROJECTION_HH
+
+#include <functional>
+
+#include "core/seqpoint.hh"
+
+namespace seqpoint {
+namespace core {
+
+/** Per-SL statistic source (e.g. iteration runtime on some device). */
+using SlStatFn = std::function<double(int64_t)>;
+
+/**
+ * Projected whole-run training time: Eq. 1's weighted sum with the
+ * representative iterations re-measured through `time_for_sl`.
+ *
+ * @param sel The selection (any selector's output).
+ * @param time_for_sl Per-SL iteration runtime on the target setup.
+ */
+double projectTrainingTime(const SeqPointSet &sel,
+                           const SlStatFn &time_for_sl);
+
+/**
+ * Projected training throughput in samples/s: weighted iteration
+ * count times batch size over projected time.
+ *
+ * @param sel The selection.
+ * @param batch Batch size.
+ * @param time_for_sl Per-SL iteration runtime on the target setup.
+ */
+double projectThroughput(const SeqPointSet &sel, unsigned batch,
+                         const SlStatFn &time_for_sl);
+
+/**
+ * Throughput uplift between two configurations, in percent:
+ * (to/from - 1) * 100.
+ *
+ * @param thr_from Throughput on the starting configuration.
+ * @param thr_to Throughput on the improved configuration.
+ */
+double upliftPercent(double thr_from, double thr_to);
+
+/**
+ * Relative projection error in percent: |proj - actual|/actual * 100
+ * (the Fig 11/12 metric).
+ */
+double timeErrorPercent(double projected, double actual);
+
+/**
+ * Speedup projection error in percentage points:
+ * |uplift_proj - uplift_actual| (the Fig 15/16 metric).
+ */
+double upliftErrorPoints(double uplift_proj, double uplift_actual);
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_PROJECTION_HH

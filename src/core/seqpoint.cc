@@ -1,0 +1,189 @@
+/**
+ * @file
+ * SeqPoint algorithm implementation.
+ */
+
+#include "core/seqpoint.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/stats_math.hh"
+
+namespace seqpoint {
+namespace core {
+
+double
+SeqPointSet::totalWeight() const
+{
+    double w = 0.0;
+    for (const SeqPointRecord &p : points)
+        w += p.weight;
+    return w;
+}
+
+double
+SeqPointSet::projectTotal() const
+{
+    double total = 0.0;
+    for (const SeqPointRecord &p : points)
+        total += p.weight * p.statValue;
+    return total;
+}
+
+double
+SeqPointSet::projectTotal(const std::function<double(int64_t)> &stat) const
+{
+    double total = 0.0;
+    for (const SeqPointRecord &p : points)
+        total += p.weight * stat(p.seqLen);
+    return total;
+}
+
+double
+SeqPointSet::projectRatio(const std::function<double(int64_t)> &stat) const
+{
+    double w = totalWeight();
+    if (w <= 0.0)
+        return 0.0;
+    return projectTotal(stat) / w;
+}
+
+namespace {
+
+/** Pick the representative entry index within one bin. */
+size_t
+pickRepresentative(const SlStats &stats, const Bin &bin, RepPick policy)
+{
+    const auto &entries = stats.entries();
+
+    switch (policy) {
+      case RepPick::ClosestToAvgStat:
+      case RepPick::ClosestToWeightedAvgStat: {
+        double target = (policy == RepPick::ClosestToAvgStat)
+            ? binMeanStat(stats, bin)
+            : binMeanStatWeighted(stats, bin);
+        size_t best = bin.first;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t i = bin.first; i <= bin.last; ++i) {
+            double d = std::fabs(entries[i].statValue - target);
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        return best;
+      }
+
+      case RepPick::ClosestToAvgSl: {
+        double num = 0.0, den = 0.0;
+        for (size_t i = bin.first; i <= bin.last; ++i) {
+            num += static_cast<double>(entries[i].freq) *
+                static_cast<double>(entries[i].seqLen);
+            den += static_cast<double>(entries[i].freq);
+        }
+        double target = den > 0.0 ? num / den : 0.0;
+        size_t best = bin.first;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t i = bin.first; i <= bin.last; ++i) {
+            double d = std::fabs(
+                static_cast<double>(entries[i].seqLen) - target);
+            if (d < best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        return best;
+      }
+
+      case RepPick::MostFrequent: {
+        size_t best = bin.first;
+        for (size_t i = bin.first; i <= bin.last; ++i) {
+            if (entries[i].freq > entries[best].freq)
+                best = i;
+        }
+        return best;
+      }
+    }
+    panic("pickRepresentative: bad policy");
+    return bin.first;
+}
+
+/** Build the all-unique-SLs selection (below the n threshold). */
+SeqPointSet
+selectAllUnique(const SlStats &stats)
+{
+    SeqPointSet set;
+    set.usedAllUnique = true;
+    set.converged = true;
+    set.selfError = 0.0;
+    for (const SlEntry &e : stats.entries()) {
+        set.points.push_back(SeqPointRecord{
+            e.seqLen, static_cast<double>(e.freq), e.statValue});
+    }
+    return set;
+}
+
+} // anonymous namespace
+
+SeqPointSet
+selectWithBins(const SlStats &stats, unsigned k, const SeqPointOptions &opts)
+{
+    panic_if(stats.uniqueCount() == 0, "selectWithBins: empty stats");
+
+    std::vector<Bin> bins = binEntries(stats, k, opts.binning);
+
+    SeqPointSet set;
+    set.binsUsed = k;
+    const auto &entries = stats.entries();
+    for (const Bin &bin : bins) {
+        size_t rep = pickRepresentative(stats, bin, opts.repPick);
+        double weight = static_cast<double>(binIterations(stats, bin));
+        set.points.push_back(SeqPointRecord{
+            entries[rep].seqLen, weight, entries[rep].statValue});
+    }
+
+    double actual = stats.actualTotal();
+    set.selfError = actual != 0.0
+        ? relError(set.projectTotal(), actual) : 0.0;
+    set.converged = set.selfError <= opts.errorThreshold;
+    return set;
+}
+
+SeqPointSet
+selectSeqPoints(const SlStats &stats, const SeqPointOptions &opts)
+{
+    fatal_if(opts.initialBins == 0, "selectSeqPoints: zero initial bins");
+    fatal_if(opts.errorThreshold < 0.0,
+             "selectSeqPoints: negative error threshold");
+    panic_if(stats.uniqueCount() == 0, "selectSeqPoints: empty stats");
+
+    // Step 1 short-circuit: few unique SLs -> use them all.
+    if (stats.uniqueCount() <= opts.uniqueSlThreshold)
+        return selectAllUnique(stats);
+
+    // Steps 2-6: bin, pick, weigh, project; grow k until converged.
+    unsigned max_k = static_cast<unsigned>(
+        std::min<size_t>(opts.maxBins, stats.uniqueCount()));
+    SeqPointSet best;
+    bool have_best = false;
+
+    for (unsigned k = opts.initialBins; k <= max_k; ++k) {
+        SeqPointSet set = selectWithBins(stats, k, opts);
+        if (!have_best || set.selfError < best.selfError) {
+            best = set;
+            have_best = true;
+        }
+        if (set.converged)
+            return set;
+    }
+
+    warn("selectSeqPoints: did not reach error threshold %g within "
+         "%u bins (best self-error %g); returning best set",
+         opts.errorThreshold, max_k, best.selfError);
+    return best;
+}
+
+} // namespace core
+} // namespace seqpoint

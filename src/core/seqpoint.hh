@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The SeqPoint selection algorithm (paper section V, Fig 10): bin the
+ * unique sequence lengths, pick one representative per bin, weight it
+ * by the bin's iteration count, and refine the bin count until the
+ * weighted projection reproduces the measured epoch statistic within
+ * a user threshold.
+ */
+
+#ifndef SEQPOINT_CORE_SEQPOINT_HH
+#define SEQPOINT_CORE_SEQPOINT_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/binning.hh"
+#include "core/sl_log.hh"
+
+namespace seqpoint {
+namespace core {
+
+/** How the representative SL of a bin is chosen. */
+enum class RepPick {
+    ClosestToAvgStat,         ///< Closest to the unweighted bin
+                              ///< average statistic (the paper).
+    ClosestToWeightedAvgStat, ///< Closest to the frequency-weighted
+                              ///< bin average (ablation).
+    ClosestToAvgSl,           ///< Closest to the bin's mean SL
+                              ///< (ablation).
+    MostFrequent,             ///< Highest-frequency SL in the bin
+                              ///< (ablation).
+};
+
+/** Tunables of the selection algorithm. */
+struct SeqPointOptions {
+    /** Use all unique SLs when there are at most this many (n). */
+    unsigned uniqueSlThreshold = 10;
+
+    /** Initial bucket count (k). */
+    unsigned initialBins = 5;
+
+    /** Relative projection-error convergence threshold (e). */
+    double errorThreshold = 0.005;
+
+    /** Refinement safety cap on k. */
+    unsigned maxBins = 256;
+
+    /** Bucket-boundary policy. */
+    BinningMode binning = BinningMode::EqualWidth;
+
+    /** Representative-pick policy. */
+    RepPick repPick = RepPick::ClosestToAvgStat;
+};
+
+/** One selected representative iteration. */
+struct SeqPointRecord {
+    int64_t seqLen = 0;     ///< Representative sequence length.
+    double weight = 0.0;    ///< Iterations it stands for.
+    double statValue = 0.0; ///< Its statistic on the reference setup.
+};
+
+/** The selected representative set plus selection diagnostics. */
+struct SeqPointSet {
+    std::vector<SeqPointRecord> points; ///< Ascending by SL.
+    unsigned binsUsed = 0;      ///< Final bucket count (0 if all-unique).
+    bool usedAllUnique = false; ///< True when below the n threshold.
+    bool converged = false;     ///< Error threshold met.
+    double selfError = 0.0;     ///< Relative error on the reference
+                                ///< statistic it was selected with.
+
+    /** @return Sum of weights (the epoch's iteration count). */
+    double totalWeight() const;
+
+    /** @return Weighted total of the stored statistics (Eq. 1). */
+    double projectTotal() const;
+
+    /**
+     * Weighted total of an arbitrary per-SL statistic, e.g. the
+     * runtime of the representative iterations re-measured on a
+     * different hardware configuration.
+     *
+     * @param stat Statistic evaluated per representative SL.
+     */
+    double projectTotal(const std::function<double(int64_t)> &stat) const;
+
+    /**
+     * Weighted average of a per-SL statistic -- the normalised form
+     * Eq. 1 prescribes for ratio statistics (throughput, IPC).
+     *
+     * @param stat Statistic evaluated per representative SL.
+     */
+    double projectRatio(const std::function<double(int64_t)> &stat) const;
+};
+
+/**
+ * Run the SeqPoint selection on an epoch's SL statistics.
+ *
+ * @param stats Per-unique-SL frequency and statistic log.
+ * @param opts Algorithm tunables.
+ * @return The selected set (check .converged).
+ */
+SeqPointSet selectSeqPoints(const SlStats &stats,
+                            const SeqPointOptions &opts = SeqPointOptions{});
+
+/**
+ * One binning pass at a fixed k (no refinement loop): steps 2-4 of
+ * the mechanism. Exposed for tests and ablations.
+ *
+ * @param stats Per-unique-SL statistics.
+ * @param k Bucket count.
+ * @param opts Binning/representative policies.
+ */
+SeqPointSet selectWithBins(const SlStats &stats, unsigned k,
+                           const SeqPointOptions &opts = SeqPointOptions{});
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_SEQPOINT_HH

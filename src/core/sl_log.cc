@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SlStats implementation.
+ */
+
+#include "core/sl_log.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace core {
+
+SlStats
+SlStats::fromIterations(const std::vector<IterationSample> &samples)
+{
+    std::map<int64_t, SlEntry> by_sl;
+    for (const IterationSample &s : samples) {
+        SlEntry &e = by_sl[s.seqLen];
+        e.seqLen = s.seqLen;
+        e.freq += 1;
+        e.statValue += s.statValue; // summed; averaged below
+    }
+
+    std::vector<SlEntry> entries;
+    entries.reserve(by_sl.size());
+    for (auto &[sl, e] : by_sl) {
+        e.statValue /= static_cast<double>(e.freq);
+        entries.push_back(e);
+    }
+    return fromEntries(std::move(entries));
+}
+
+SlStats
+SlStats::fromEntries(std::vector<SlEntry> entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const SlEntry &a, const SlEntry &b) {
+                  return a.seqLen < b.seqLen;
+              });
+    for (size_t i = 1; i < entries.size(); ++i) {
+        panic_if(entries[i].seqLen == entries[i - 1].seqLen,
+                 "SlStats: duplicate SL entry %lld",
+                 static_cast<long long>(entries[i].seqLen));
+    }
+
+    SlStats stats;
+    stats.entries_ = std::move(entries);
+    return stats;
+}
+
+uint64_t
+SlStats::totalIterations() const
+{
+    uint64_t total = 0;
+    for (const SlEntry &e : entries_)
+        total += e.freq;
+    return total;
+}
+
+double
+SlStats::actualTotal() const
+{
+    double total = 0.0;
+    for (const SlEntry &e : entries_)
+        total += static_cast<double>(e.freq) * e.statValue;
+    return total;
+}
+
+int64_t
+SlStats::minSl() const
+{
+    panic_if(entries_.empty(), "SlStats: empty");
+    return entries_.front().seqLen;
+}
+
+int64_t
+SlStats::maxSl() const
+{
+    panic_if(entries_.empty(), "SlStats: empty");
+    return entries_.back().seqLen;
+}
+
+const SlEntry *
+SlStats::find(int64_t sl) const
+{
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), sl,
+        [](const SlEntry &e, int64_t v) { return e.seqLen < v; });
+    if (it == entries_.end() || it->seqLen != sl)
+        return nullptr;
+    return &*it;
+}
+
+int64_t
+SlStats::mostFrequentSl() const
+{
+    panic_if(entries_.empty(), "SlStats: empty");
+    const SlEntry *best = &entries_.front();
+    for (const SlEntry &e : entries_) {
+        if (e.freq > best->freq)
+            best = &e;
+    }
+    return best->seqLen;
+}
+
+int64_t
+SlStats::medianSl() const
+{
+    panic_if(entries_.empty(), "SlStats: empty");
+    uint64_t half = (totalIterations() + 1) / 2;
+    uint64_t acc = 0;
+    for (const SlEntry &e : entries_) {
+        acc += e.freq;
+        if (acc >= half)
+            return e.seqLen;
+    }
+    return entries_.back().seqLen;
+}
+
+} // namespace core
+} // namespace seqpoint

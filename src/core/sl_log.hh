@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sequence-length statistics: the per-unique-SL frequency and runtime
+ * log that step 1 of the SeqPoint mechanism (Fig 10) extracts from a
+ * single training epoch. This is all SeqPoint ever needs -- no
+ * hardware counters, no simulation, just iteration runtimes.
+ */
+
+#ifndef SEQPOINT_CORE_SL_LOG_HH
+#define SEQPOINT_CORE_SL_LOG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seqpoint {
+namespace core {
+
+/** One observed training iteration: its SL and measured statistic. */
+struct IterationSample {
+    int64_t seqLen = 0;    ///< Sequence length of the iteration.
+    double statValue = 0.0; ///< Measured statistic (runtime, etc.).
+};
+
+/** Aggregate for one unique sequence length. */
+struct SlEntry {
+    int64_t seqLen = 0;     ///< The sequence length.
+    uint64_t freq = 0;      ///< Iterations with this SL in the epoch.
+    double statValue = 0.0; ///< Per-iteration statistic at this SL.
+};
+
+/**
+ * Per-unique-SL statistics over one epoch, sorted by SL.
+ */
+class SlStats
+{
+  public:
+    /**
+     * Build from an iteration log.
+     *
+     * Repeated observations of the same SL are averaged (they are
+     * identical under the paper's no-data-dependent-optimisation
+     * assumption, but measurement noise is tolerated).
+     *
+     * @param samples Per-iteration observations, any order.
+     */
+    static SlStats fromIterations(
+        const std::vector<IterationSample> &samples);
+
+    /**
+     * Build directly from per-SL entries.
+     *
+     * @param entries Entries (any order; sorted internally).
+     */
+    static SlStats fromEntries(std::vector<SlEntry> entries);
+
+    /** @return Entries sorted ascending by SL. */
+    const std::vector<SlEntry> &entries() const { return entries_; }
+
+    /** @return Number of unique sequence lengths. */
+    std::size_t uniqueCount() const { return entries_.size(); }
+
+    /** @return Total iterations across all SLs. */
+    uint64_t totalIterations() const;
+
+    /** @return Sum over iterations of the statistic (actual total). */
+    double actualTotal() const;
+
+    /** @return Smallest SL. */
+    int64_t minSl() const;
+
+    /** @return Largest SL. */
+    int64_t maxSl() const;
+
+    /**
+     * Entry lookup by SL.
+     *
+     * @param sl Sequence length.
+     * @return The entry, or nullptr if absent.
+     */
+    const SlEntry *find(int64_t sl) const;
+
+    /** @return SL with the highest iteration frequency. */
+    int64_t mostFrequentSl() const;
+
+    /** @return Median SL of the iteration-weighted distribution. */
+    int64_t medianSl() const;
+
+  private:
+    std::vector<SlEntry> entries_;
+};
+
+} // namespace core
+} // namespace seqpoint
+
+#endif // SEQPOINT_CORE_SL_LOG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Batching implementation.
+ */
+
+#include "data/batching.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace data {
+
+namespace {
+
+std::vector<Batch>
+chunkIntoBatches(const std::vector<int64_t> &ordered, unsigned batch_size)
+{
+    std::vector<Batch> batches;
+    size_t full = ordered.size() / batch_size;
+    batches.reserve(full);
+    for (size_t b = 0; b < full; ++b) {
+        int64_t max_sl = 0;
+        for (unsigned i = 0; i < batch_size; ++i)
+            max_sl = std::max(max_sl, ordered[b * batch_size + i]);
+        batches.push_back(Batch{max_sl, batch_size});
+    }
+    return batches;
+}
+
+} // anonymous namespace
+
+std::vector<Batch>
+makeEpochBatches(const std::vector<int64_t> &lens, unsigned batch_size,
+                 BatchPolicy policy, Rng &rng)
+{
+    fatal_if(batch_size == 0, "makeEpochBatches: zero batch size");
+    fatal_if(lens.size() < batch_size,
+             "makeEpochBatches: fewer samples (%zu) than one batch (%u)",
+             lens.size(), batch_size);
+
+    std::vector<int64_t> ordered = lens;
+
+    switch (policy) {
+      case BatchPolicy::Shuffled:
+        rng.shuffle(ordered);
+        return chunkIntoBatches(ordered, batch_size);
+
+      case BatchPolicy::SortedBySl:
+        std::sort(ordered.begin(), ordered.end());
+        return chunkIntoBatches(ordered, batch_size);
+
+      case BatchPolicy::Bucketed: {
+        // Sort to form low-padding batches, then shuffle the batch
+        // order so training still sees mixed lengths.
+        std::sort(ordered.begin(), ordered.end());
+        std::vector<Batch> batches = chunkIntoBatches(ordered,
+                                                      batch_size);
+        rng.shuffle(batches);
+        return batches;
+      }
+    }
+    panic("makeEpochBatches: bad policy");
+    return {};
+}
+
+double
+paddingOverhead(const std::vector<int64_t> &lens,
+                const std::vector<Batch> &batches)
+{
+    double padded = 0.0;
+    for (const Batch &b : batches)
+        padded += static_cast<double>(b.seqLen) * b.size;
+    if (padded <= 0.0)
+        return 0.0;
+
+    // Only the samples that made it into full batches count; their
+    // expected content is used * mean(sample length).
+    size_t used = 0;
+    for (const Batch &b : batches)
+        used += b.size;
+    double total = std::accumulate(lens.begin(), lens.end(), 0.0);
+    double mean_len = total / static_cast<double>(lens.size());
+    double real = mean_len * static_cast<double>(used);
+    return std::max(0.0, 1.0 - real / padded);
+}
+
+} // namespace data
+} // namespace seqpoint

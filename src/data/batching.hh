@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batching policies. SQNN frameworks pad every sample in a batch to
+ * the batch's longest sequence, so the iteration's effective SL is
+ * that maximum. The policy determines iteration *order*, which is
+ * irrelevant to SeqPoint but decisive for the Prior baseline: DS2
+ * sorts samples by SL in its first epoch, which is exactly why Prior's
+ * 50 contiguous iterations accidentally cover a narrow SL band.
+ */
+
+#ifndef SEQPOINT_DATA_BATCHING_HH
+#define SEQPOINT_DATA_BATCHING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "data/dataset.hh"
+
+namespace seqpoint {
+namespace data {
+
+/** One training iteration's input batch. */
+struct Batch {
+    int64_t seqLen = 0; ///< Padded (maximum) SL of the batch.
+    unsigned size = 0;  ///< Samples in the batch.
+};
+
+/** Iteration-order policy for an epoch. */
+enum class BatchPolicy {
+    Shuffled,   ///< Uniform shuffle (GNMT-style).
+    SortedBySl, ///< Sort samples by SL (DS2's first epoch).
+    Bucketed,   ///< Bucket by SL, then shuffle batches (low padding).
+};
+
+/**
+ * Form one epoch of batches from sample lengths.
+ *
+ * A trailing partial batch is dropped, keeping the batch size
+ * constant across iterations as the paper assumes.
+ *
+ * @param lens Per-sample sequence lengths.
+ * @param batch_size Samples per batch (> 0).
+ * @param policy Iteration-order policy.
+ * @param rng Random source (used by Shuffled/Bucketed).
+ * @return Batches in execution order.
+ */
+std::vector<Batch> makeEpochBatches(const std::vector<int64_t> &lens,
+                                    unsigned batch_size,
+                                    BatchPolicy policy, Rng &rng);
+
+/**
+ * Fraction of padded positions across an epoch: wasted work
+ * introduced by padding each batch to its maximum SL.
+ *
+ * @param lens Per-sample sequence lengths.
+ * @param batches Epoch batches formed from those samples.
+ * @return Padding fraction in [0, 1).
+ */
+double paddingOverhead(const std::vector<int64_t> &lens,
+                       const std::vector<Batch> &batches);
+
+} // namespace data
+} // namespace seqpoint
+
+#endif // SEQPOINT_DATA_BATCHING_HH

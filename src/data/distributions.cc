@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic sequence-length distribution implementations.
+ */
+
+#include "data/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seqpoint {
+namespace data {
+
+int64_t
+clampLen(double value, int64_t lo, int64_t hi)
+{
+    int64_t v = static_cast<int64_t>(std::llround(value));
+    return std::clamp(v, lo, hi);
+}
+
+std::vector<int64_t>
+librispeechLengths(Rng &rng, size_t count)
+{
+    std::vector<int64_t> lens;
+    lens.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Rejection-resample instead of clamping so no artificial
+        // probability mass piles up at the range edges.
+        double v;
+        do {
+            double u = rng.uniformDouble();
+            if (u < 0.55) {
+                // Dominant short-utterance mode.
+                v = 50.0 + rng.gamma(2.2, 22.0);
+            } else if (u < 0.80) {
+                // Mid-length audiobook sentences.
+                v = 160.0 + rng.gamma(3.0, 30.0);
+            } else {
+                // Long-utterance tail.
+                v = 260.0 + rng.gamma(2.0, 55.0);
+            }
+        } while (v > 450.0);
+        lens.push_back(clampLen(v, 50, 450));
+    }
+    return lens;
+}
+
+std::vector<int64_t>
+iwsltLengths(Rng &rng, size_t count)
+{
+    std::vector<int64_t> lens;
+    lens.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Broad log-normal body: median ~25 tokens, long tail.
+        double v;
+        do {
+            v = rng.logNormal(3.2, 0.70);
+        } while (v > 220.0);
+        lens.push_back(clampLen(v, 4, 220));
+    }
+    return lens;
+}
+
+std::vector<int64_t>
+wmtLengths(Rng &rng, size_t count)
+{
+    std::vector<int64_t> lens;
+    lens.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        // Same range as IWSLT, slightly longer median (news text).
+        double v;
+        do {
+            v = rng.logNormal(3.35, 0.60);
+        } while (v > 220.0);
+        lens.push_back(clampLen(v, 4, 220));
+    }
+    return lens;
+}
+
+} // namespace data
+} // namespace seqpoint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic sequence-length distributions. SeqPoint never inspects
+ * sample *content* -- only each sample's sequence length -- so a
+ * faithful SL distribution is a complete stand-in for the paper's
+ * datasets. Shapes are calibrated to Fig 7: LibriSpeech-100h is
+ * heavily right-skewed with a secondary mid-length mass; IWSLT'15 is
+ * broader ("more uniform" in the paper's words).
+ */
+
+#ifndef SEQPOINT_DATA_DISTRIBUTIONS_HH
+#define SEQPOINT_DATA_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace seqpoint {
+namespace data {
+
+/**
+ * LibriSpeech-100h-like utterance lengths, in post-convolution time
+ * steps (the DS2 GRU unroll factor), range roughly [50, 450].
+ *
+ * Mixture: a dominant short-utterance gamma mode, a secondary
+ * mid-length mode (audiobook sentences), and a thin long tail.
+ *
+ * @param rng Random source.
+ * @param count Number of samples to draw.
+ * @return Sample sequence lengths.
+ */
+std::vector<int64_t> librispeechLengths(Rng &rng, size_t count);
+
+/**
+ * IWSLT'15-like sentence lengths in tokens, range roughly [4, 220]:
+ * a broad log-normal body with substantial mass across the range.
+ *
+ * @param rng Random source.
+ * @param count Number of samples to draw.
+ * @return Sample sequence lengths.
+ */
+std::vector<int64_t> iwsltLengths(Rng &rng, size_t count);
+
+/**
+ * WMT'16-like sentence lengths: same SL *range* as IWSLT (the paper
+ * notes the larger datasets cover similar ranges), slightly different
+ * body shape. Used by the scaling discussion bench.
+ *
+ * @param rng Random source.
+ * @param count Number of samples to draw.
+ * @return Sample sequence lengths.
+ */
+std::vector<int64_t> wmtLengths(Rng &rng, size_t count);
+
+/**
+ * Clamp helper shared by the generators.
+ *
+ * @param value Raw draw.
+ * @param lo Minimum allowed.
+ * @param hi Maximum allowed.
+ */
+int64_t clampLen(double value, int64_t lo, int64_t hi);
+
+} // namespace data
+} // namespace seqpoint
+
+#endif // SEQPOINT_DATA_DISTRIBUTIONS_HH

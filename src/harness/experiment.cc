@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Experiment driver implementation.
+ */
+
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace harness {
+
+Experiment::ConfigState::ConfigState(const sim::GpuConfig &cfg,
+                                     const nn::Model &model,
+                                     unsigned batch)
+    : gpu(cfg), tuner(nn::Autotuner::Mode::Measured, &gpu),
+      profiler(gpu, model, tuner, batch)
+{
+}
+
+core::SeqPointOptions
+Experiment::defaultOptions()
+{
+    core::SeqPointOptions opts;
+    opts.uniqueSlThreshold = 10;
+    opts.initialBins = 5;
+    opts.errorThreshold = 0.005;
+    return opts;
+}
+
+Experiment::Experiment(Workload workload, core::SeqPointOptions opts)
+    : wl(std::move(workload)), opts(opts)
+{
+}
+
+Experiment::ConfigState &
+Experiment::state(const sim::GpuConfig &cfg)
+{
+    auto it = states.find(cfg.name);
+    if (it == states.end()) {
+        it = states.emplace(cfg.name,
+            std::make_unique<ConfigState>(cfg, wl.model,
+                                          wl.batchSize)).first;
+    }
+    return *it->second;
+}
+
+const prof::TrainLog &
+Experiment::epochLog(const sim::GpuConfig &cfg)
+{
+    ConfigState &st = state(cfg);
+    if (!st.log) {
+        prof::TrainConfig tc;
+        tc.batchSize = wl.batchSize;
+        tc.policy = wl.policy;
+        tc.seed = wl.seed;
+        tc.evalCostMultiplier = wl.evalCostMultiplier;
+        st.log = std::make_unique<prof::TrainLog>(
+            prof::runTrainingEpoch(st.gpu, wl.model, wl.dataset, tc));
+    }
+    return *st.log;
+}
+
+double
+Experiment::iterTime(const sim::GpuConfig &cfg, int64_t sl)
+{
+    return state(cfg).profiler.profileIteration(sl).timeSec;
+}
+
+const prof::IterationProfile &
+Experiment::iterProfile(const sim::GpuConfig &cfg, int64_t sl)
+{
+    return state(cfg).profiler.profileIteration(sl);
+}
+
+prof::DetailedProfile
+Experiment::iterProfileDetailed(const sim::GpuConfig &cfg, int64_t sl)
+{
+    return state(cfg).profiler.profileIterationDetailed(sl);
+}
+
+double
+Experiment::actualTrainSec(const sim::GpuConfig &cfg)
+{
+    return epochLog(cfg).trainSec;
+}
+
+double
+Experiment::actualThroughput(const sim::GpuConfig &cfg)
+{
+    return epochLog(cfg).throughput(wl.batchSize);
+}
+
+std::vector<core::IterationSample>
+Experiment::epochSamples(const sim::GpuConfig &cfg)
+{
+    const prof::TrainLog &log = epochLog(cfg);
+    std::vector<core::IterationSample> samples;
+    samples.reserve(log.iterations.size());
+    for (const prof::IterationLog &it : log.iterations)
+        samples.push_back(core::IterationSample{it.seqLen, it.timeSec});
+    return samples;
+}
+
+core::SlStats
+Experiment::slStats(const sim::GpuConfig &cfg)
+{
+    return core::SlStats::fromIterations(epochSamples(cfg));
+}
+
+core::SeqPointSet
+Experiment::buildSelection(core::SelectorKind kind,
+                           const sim::GpuConfig &ref)
+{
+    switch (kind) {
+      case core::SelectorKind::Worst:
+        return core::selectWorst(slStats(ref));
+      case core::SelectorKind::Frequent:
+        return core::selectFrequent(slStats(ref));
+      case core::SelectorKind::Median:
+        return core::selectMedian(slStats(ref));
+      case core::SelectorKind::Prior:
+        return core::selectPrior(epochSamples(ref));
+      case core::SelectorKind::SeqPoint:
+        return core::selectSeqPoints(slStats(ref), opts);
+    }
+    panic("buildSelection: bad selector");
+    return {};
+}
+
+std::map<core::SelectorKind, core::SeqPointSet>
+Experiment::buildAllSelections(const sim::GpuConfig &ref)
+{
+    std::map<core::SelectorKind, core::SeqPointSet> sets;
+    for (core::SelectorKind kind : {
+             core::SelectorKind::Worst, core::SelectorKind::Frequent,
+             core::SelectorKind::Median, core::SelectorKind::Prior,
+             core::SelectorKind::SeqPoint}) {
+        sets.emplace(kind, buildSelection(kind, ref));
+    }
+    return sets;
+}
+
+double
+Experiment::projectedTrainSec(const core::SeqPointSet &sel,
+                              const sim::GpuConfig &target)
+{
+    return core::projectTrainingTime(sel,
+        [this, &target](int64_t sl) { return iterTime(target, sl); });
+}
+
+double
+Experiment::projectedThroughput(const core::SeqPointSet &sel,
+                                const sim::GpuConfig &target)
+{
+    return core::projectThroughput(sel, wl.batchSize,
+        [this, &target](int64_t sl) { return iterTime(target, sl); });
+}
+
+} // namespace harness
+} // namespace seqpoint

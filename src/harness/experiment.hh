@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Experiment driver: the shared evaluation flow behind every table
+ * and figure bench. Runs full training epochs per hardware
+ * configuration ("actual" measurements), builds every selector's
+ * representative set on the reference configuration, and evaluates
+ * time/throughput projections against the actuals.
+ */
+
+#ifndef SEQPOINT_HARNESS_EXPERIMENT_HH
+#define SEQPOINT_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hh"
+#include "core/kmeans.hh"
+#include "core/projection.hh"
+#include "core/seqpoint.hh"
+#include "core/sl_log.hh"
+#include "harness/workloads.hh"
+#include "profiler/profiler.hh"
+#include "profiler/trainer.hh"
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace harness {
+
+/**
+ * Evaluation state for one workload across hardware configurations.
+ *
+ * All epoch runs and per-SL profiles are memoized, so benches can ask
+ * for the same quantity repeatedly at no cost.
+ */
+class Experiment
+{
+  public:
+    /**
+     * Construct for a workload.
+     *
+     * @param workload Workload to evaluate (taken by move).
+     * @param opts SeqPoint algorithm tunables.
+     */
+    explicit Experiment(Workload workload,
+                        core::SeqPointOptions opts = defaultOptions());
+
+    /** Default SeqPoint tunables used across the reproduction. */
+    static core::SeqPointOptions defaultOptions();
+
+    /** @return The workload under evaluation. */
+    const Workload &workload() const { return wl; }
+
+    /** @return SeqPoint tunables in use. */
+    const core::SeqPointOptions &options() const { return opts; }
+
+    /**
+     * Full-epoch training log on a configuration (memoized).
+     *
+     * @param cfg Hardware configuration.
+     */
+    const prof::TrainLog &epochLog(const sim::GpuConfig &cfg);
+
+    /**
+     * One training iteration's runtime at a sequence length on a
+     * configuration (memoized per SL).
+     *
+     * @param cfg Hardware configuration.
+     * @param sl Sequence length.
+     */
+    double iterTime(const sim::GpuConfig &cfg, int64_t sl);
+
+    /**
+     * Full iteration profile at a sequence length (memoized).
+     *
+     * @param cfg Hardware configuration.
+     * @param sl Sequence length.
+     */
+    const prof::IterationProfile &iterProfile(const sim::GpuConfig &cfg,
+                                              int64_t sl);
+
+    /**
+     * Detailed (per-kernel) profile at a sequence length.
+     *
+     * @param cfg Hardware configuration.
+     * @param sl Sequence length.
+     */
+    prof::DetailedProfile iterProfileDetailed(const sim::GpuConfig &cfg,
+                                              int64_t sl);
+
+    /** Actual epoch training time (iterations only) on a config. */
+    double actualTrainSec(const sim::GpuConfig &cfg);
+
+    /** Actual training throughput (samples/s) on a config. */
+    double actualThroughput(const sim::GpuConfig &cfg);
+
+    /**
+     * Epoch observations in execution order on a config (input to
+     * Prior and to SlStats).
+     */
+    std::vector<core::IterationSample>
+    epochSamples(const sim::GpuConfig &cfg);
+
+    /** Per-unique-SL statistics of the epoch on a config. */
+    core::SlStats slStats(const sim::GpuConfig &cfg);
+
+    /**
+     * Build one selector's representative set on a reference config.
+     *
+     * @param kind Selector.
+     * @param ref Reference configuration (paper: config #1).
+     */
+    core::SeqPointSet buildSelection(core::SelectorKind kind,
+                                     const sim::GpuConfig &ref);
+
+    /** All five selectors' sets on a reference config. */
+    std::map<core::SelectorKind, core::SeqPointSet>
+    buildAllSelections(const sim::GpuConfig &ref);
+
+    /**
+     * Projected epoch training time: selection built on `ref`,
+     * representative iterations re-measured on `target`.
+     */
+    double projectedTrainSec(const core::SeqPointSet &sel,
+                             const sim::GpuConfig &target);
+
+    /** Projected training throughput on a target config. */
+    double projectedThroughput(const core::SeqPointSet &sel,
+                               const sim::GpuConfig &target);
+
+  private:
+    /** Per-configuration simulation state with stable addresses. */
+    struct ConfigState {
+        sim::Gpu gpu;
+        nn::Autotuner tuner;
+        prof::Profiler profiler;
+        std::unique_ptr<prof::TrainLog> log;
+
+        ConfigState(const sim::GpuConfig &cfg, const nn::Model &model,
+                    unsigned batch);
+    };
+
+    Workload wl;
+    core::SeqPointOptions opts;
+    std::map<std::string, std::unique_ptr<ConfigState>> states;
+
+    ConfigState &state(const sim::GpuConfig &cfg);
+};
+
+} // namespace harness
+} // namespace seqpoint
+
+#endif // SEQPOINT_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload factory implementations.
+ */
+
+#include "harness/workloads.hh"
+
+#include "models/cnn.hh"
+#include "models/ds2.hh"
+#include "models/gnmt.hh"
+#include "models/transformer.hh"
+
+namespace seqpoint {
+namespace harness {
+
+Workload::Workload(std::string name, nn::Model model,
+                   data::Dataset dataset, data::BatchPolicy policy,
+                   uint64_t seed)
+    : name(std::move(name)), model(std::move(model)),
+      dataset(std::move(dataset)), policy(policy), seed(seed)
+{
+}
+
+Workload
+makeGnmtWorkload(uint64_t seed)
+{
+    Workload wl("GNMT", models::buildGnmt(), data::synthIwslt15(seed),
+                data::BatchPolicy::Bucketed, seed);
+    // BLEU evaluation decodes with beam search: several times the
+    // cost of a plain forward pass.
+    wl.evalCostMultiplier = 3.0;
+    return wl;
+}
+
+Workload
+makeDs2Workload(uint64_t seed)
+{
+    return Workload("DS2", models::buildDs2(),
+                    data::synthLibriSpeech100(seed),
+                    data::BatchPolicy::SortedBySl, seed);
+}
+
+Workload
+makeCnnWorkload(uint64_t seed)
+{
+    // Fixed-size inputs: every sample reports the same "length".
+    data::Dataset ds;
+    ds.name = "ImageNet-32(synth)";
+    ds.trainLens.assign(25600, 1);
+    ds.evalLens.assign(640, 1);
+    return Workload("CNN", models::buildCnn(), std::move(ds),
+                    data::BatchPolicy::Shuffled, seed);
+}
+
+Workload
+makeTransformerWorkload(uint64_t seed)
+{
+    return Workload("Transformer", models::buildTransformer(),
+                    data::synthWmt16(seed),
+                    data::BatchPolicy::Shuffled, seed);
+}
+
+} // namespace harness
+} // namespace seqpoint

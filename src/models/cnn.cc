@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CNN model assembly.
+ */
+
+#include "models/cnn.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/layers/batchnorm.hh"
+#include "nn/layers/conv2d.hh"
+#include "nn/layers/fully_connected.hh"
+#include "nn/layers/softmax_loss.hh"
+
+namespace seqpoint {
+namespace models {
+
+nn::Model
+buildCnn(const CnnParams &p)
+{
+    using namespace nn;
+
+    fatal_if(p.stages == 0 || p.blocksPerStage == 0,
+             "CNN: empty structure");
+
+    Model model("CNN");
+
+    int64_t size = p.imageSize;
+    int64_t in_c = 3;
+    int64_t out_c = p.baseChannels;
+
+    for (unsigned s = 0; s < p.stages; ++s) {
+        for (unsigned b = 0; b < p.blocksPerStage; ++b) {
+            // First block of each later stage downsamples.
+            int64_t stride = (s > 0 && b == 0) ? 2 : 1;
+            auto conv = std::make_unique<Conv2dLayer>(
+                csprintf("conv_s%u_b%u", s, b), in_c, out_c, 3, 3,
+                stride, stride, size, TimeAxis::Fixed, 1, size);
+            size = (stride == 2) ? (size + 1) / 2 : size;
+            model.add(std::move(conv));
+            model.add(std::make_unique<BatchNormLayer>(
+                csprintf("bn_s%u_b%u", s, b), out_c * size, out_c,
+                TimeAxis::Fixed, size));
+            in_c = out_c;
+        }
+        out_c *= 2;
+    }
+
+    // Global-average-pooled features to the classifier.
+    model.add(std::make_unique<FullyConnectedLayer>("classifier", in_c,
+        p.classes, TimeAxis::Fixed, 1));
+    model.add(std::make_unique<SoftmaxLossLayer>("loss", p.classes,
+        TimeAxis::Fixed, 1));
+
+    return model;
+}
+
+} // namespace models
+} // namespace seqpoint

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A fixed-input CNN image classifier (ResNet-style plain stack) used
+ * as the homogeneous-iteration contrast case for Fig 3: every layer
+ * uses TimeAxis::Fixed, so the lowered kernel stream is identical for
+ * every iteration regardless of the batch's content.
+ */
+
+#ifndef SEQPOINT_MODELS_CNN_HH
+#define SEQPOINT_MODELS_CNN_HH
+
+#include "nn/model.hh"
+
+namespace seqpoint {
+namespace models {
+
+/** Structural hyper-parameters of the CNN build. */
+struct CnnParams {
+    int64_t imageSize = 32;  ///< Square input edge (pixels).
+    int64_t classes = 1000;  ///< Classifier classes.
+    unsigned stages = 3;     ///< Resolution stages (stride-2 between).
+    unsigned blocksPerStage = 2; ///< Conv blocks per stage.
+    int64_t baseChannels = 64;   ///< Channels of the first stage.
+};
+
+/**
+ * Build the CNN model.
+ *
+ * @param params Structural hyper-parameters.
+ * @return The assembled model.
+ */
+nn::Model buildCnn(const CnnParams &params = CnnParams{});
+
+} // namespace models
+} // namespace seqpoint
+
+#endif // SEQPOINT_MODELS_CNN_HH

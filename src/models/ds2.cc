@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DS2 model assembly.
+ */
+
+#include "models/ds2.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/kernel_gen.hh"
+#include "nn/layers/batchnorm.hh"
+#include "nn/layers/conv2d.hh"
+#include "nn/layers/fully_connected.hh"
+#include "nn/layers/recurrent.hh"
+#include "nn/layers/softmax_loss.hh"
+
+namespace seqpoint {
+namespace models {
+
+nn::Model
+buildDs2(const Ds2Params &p)
+{
+    using namespace nn;
+
+    fatal_if(p.gruLayers < 1, "DS2: need >= 1 GRU layer");
+
+    Model model("DS2");
+
+    // conv1: 32 filters of 11x41 over [2*SL, 161], stride (2, 2):
+    // output time = SL, output freq = 81.
+    auto conv1 = std::make_unique<Conv2dLayer>("conv1", 1, 32, 11, 41,
+        2, 2, p.freqBins, TimeAxis::Source, /*time_expansion=*/2);
+    int64_t freq1 = conv1->outWidth();
+
+    // conv2: 32 filters of 11x21, stride (1, 2): time stays SL.
+    auto conv2 = std::make_unique<Conv2dLayer>("conv2", 32, 32, 11, 21,
+        1, 2, freq1, TimeAxis::Source, /*time_expansion=*/1);
+    int64_t freq2 = conv2->outWidth();
+    int64_t conv_features = 32 * freq2;
+
+    model.add(std::move(conv1));
+    model.add(std::move(conv2));
+
+    // Batch-norm over the conv feature map.
+    model.add(std::make_unique<BatchNormLayer>("batchnorm",
+        conv_features, 32, TimeAxis::Source));
+
+    // Five bidirectional GRU layers; layer 0 consumes the flattened
+    // conv features, the rest consume 2*hidden.
+    for (unsigned i = 0; i < p.gruLayers; ++i) {
+        int64_t in_dim = (i == 0) ? conv_features : 2 * p.hidden;
+        model.add(std::make_unique<RecurrentLayer>(
+            csprintf("bigru_%u", i), CellType::Gru, in_dim, p.hidden,
+            true, TimeAxis::Source));
+    }
+
+    // Character classifier over every post-conv time step, then the
+    // (CTC-style) loss approximated as softmax cross-entropy.
+    model.add(std::make_unique<FullyConnectedLayer>("classifier",
+        2 * p.hidden, p.vocab, TimeAxis::Source));
+    model.add(std::make_unique<SoftmaxLossLayer>("loss", p.vocab,
+        TimeAxis::Source));
+
+    return model;
+}
+
+} // namespace models
+} // namespace seqpoint

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Baidu DeepSpeech2 (DS2) reference model as the paper describes it:
+ * two convolutional layers, one batch-normalisation layer, five
+ * bidirectional GRU layers, and a fully-connected classifier over the
+ * character vocabulary.
+ *
+ * Sequence-length convention: an iteration's SL is the *post-
+ * convolution* time-step count (the GRU unroll factor). The input
+ * spectrogram has 2*SL frames; the first convolution's stride-2 time
+ * axis halves it. Table I's classifier GEMMs (N = 64*402, 64*59)
+ * follow directly.
+ */
+
+#ifndef SEQPOINT_MODELS_DS2_HH
+#define SEQPOINT_MODELS_DS2_HH
+
+#include "nn/model.hh"
+
+namespace seqpoint {
+namespace models {
+
+/** Structural hyper-parameters of the DS2 build. */
+struct Ds2Params {
+    int64_t vocab = 29;         ///< Character vocabulary (Table I).
+    int64_t hidden = 800;       ///< GRU hidden per direction (2x800 =
+                                ///< the 1600 classifier K of Table I).
+    unsigned gruLayers = 5;     ///< Bidirectional GRU stack depth.
+    int64_t freqBins = 161;     ///< Input spectrogram frequency bins.
+};
+
+/**
+ * Build the DS2 model.
+ *
+ * @param params Structural hyper-parameters.
+ * @return The assembled model.
+ */
+nn::Model buildDs2(const Ds2Params &params = Ds2Params{});
+
+} // namespace models
+} // namespace seqpoint
+
+#endif // SEQPOINT_MODELS_DS2_HH

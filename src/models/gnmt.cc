@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GNMT model assembly.
+ */
+
+#include "models/gnmt.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/layers/attention.hh"
+#include "nn/layers/embedding.hh"
+#include "nn/layers/fully_connected.hh"
+#include "nn/layers/recurrent.hh"
+#include "nn/layers/softmax_loss.hh"
+
+namespace seqpoint {
+namespace models {
+
+nn::Model
+buildGnmt(const GnmtParams &p)
+{
+    using namespace nn;
+
+    fatal_if(p.encoderLayers < 2, "GNMT: need >= 2 encoder layers");
+    fatal_if(p.decoderLayers < 1, "GNMT: need >= 1 decoder layer");
+
+    Model model("GNMT");
+    model.setTargetLenRatio(p.targetLenRatio);
+
+    // --- Encoder --------------------------------------------------
+    model.add(std::make_unique<EmbeddingLayer>("enc_embed", p.vocab,
+        p.hidden, TimeAxis::Source));
+
+    // First encoder layer is bidirectional.
+    model.add(std::make_unique<RecurrentLayer>("enc_lstm_0",
+        CellType::Lstm, p.hidden, p.hidden, true, TimeAxis::Source));
+
+    // Remaining encoder layers are unidirectional; layer 1 consumes
+    // the concatenated bidirectional output.
+    for (unsigned i = 1; i < p.encoderLayers; ++i) {
+        int64_t in_dim = (i == 1) ? 2 * p.hidden : p.hidden;
+        model.add(std::make_unique<RecurrentLayer>(
+            csprintf("enc_lstm_%u", i), CellType::Lstm, in_dim, p.hidden,
+            false, TimeAxis::Source));
+    }
+
+    // --- Decoder --------------------------------------------------
+    model.add(std::make_unique<EmbeddingLayer>("dec_embed", p.vocab,
+        p.hidden, TimeAxis::Target));
+
+    // Attention feeds the decoder; its queries scale with the target.
+    model.add(std::make_unique<AttentionLayer>("attention", p.hidden,
+        TimeAxis::Target));
+
+    // First decoder layer consumes embedding + attention context.
+    model.add(std::make_unique<RecurrentLayer>("dec_lstm_0",
+        CellType::Lstm, 2 * p.hidden, p.hidden, false, TimeAxis::Target));
+    for (unsigned i = 1; i < p.decoderLayers; ++i) {
+        model.add(std::make_unique<RecurrentLayer>(
+            csprintf("dec_lstm_%u", i), CellType::Lstm, p.hidden,
+            p.hidden, false, TimeAxis::Target));
+    }
+
+    // --- Classifier + loss ----------------------------------------
+    model.add(std::make_unique<FullyConnectedLayer>("classifier",
+        p.hidden, p.vocab, TimeAxis::Target));
+    model.add(std::make_unique<SoftmaxLossLayer>("loss", p.vocab,
+        TimeAxis::Target));
+
+    return model;
+}
+
+} // namespace models
+} // namespace seqpoint

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Google Neural Machine Translation (GNMT) reference model, as the
+ * paper describes it: an encoder with seven unidirectional plus one
+ * bidirectional LSTM layer, an eight-layer unidirectional LSTM
+ * decoder, an attention network connecting them, and a fully-
+ * connected classifier over the vocabulary.
+ */
+
+#ifndef SEQPOINT_MODELS_GNMT_HH
+#define SEQPOINT_MODELS_GNMT_HH
+
+#include "nn/model.hh"
+
+namespace seqpoint {
+namespace models {
+
+/** Structural hyper-parameters of the GNMT build. */
+struct GnmtParams {
+    int64_t vocab = 36549;      ///< IWSLT'15 vocabulary (Table I).
+    int64_t hidden = 1024;      ///< LSTM hidden and embedding size.
+    unsigned encoderLayers = 8; ///< 1 bidirectional + 7 unidirectional.
+    unsigned decoderLayers = 8; ///< Unidirectional decoder stack.
+    double targetLenRatio = 0.95; ///< Derived target/source ratio.
+};
+
+/**
+ * Build the GNMT model.
+ *
+ * @param params Structural hyper-parameters.
+ * @return The assembled model.
+ */
+nn::Model buildGnmt(const GnmtParams &params = GnmtParams{});
+
+} // namespace models
+} // namespace seqpoint
+
+#endif // SEQPOINT_MODELS_GNMT_HH

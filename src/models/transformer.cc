@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Transformer model assembly.
+ */
+
+#include "models/transformer.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/layers/attention.hh"
+#include "nn/layers/embedding.hh"
+#include "nn/layers/fully_connected.hh"
+#include "nn/layers/softmax_loss.hh"
+
+namespace seqpoint {
+namespace models {
+
+nn::Model
+buildTransformer(const TransformerParams &p)
+{
+    using namespace nn;
+
+    fatal_if(p.layers == 0, "Transformer: empty structure");
+
+    Model model("Transformer");
+    // Self-attention: queries and keys both live on the source axis.
+    model.setTargetLenRatio(1.0);
+
+    model.add(std::make_unique<EmbeddingLayer>("embed", p.vocab,
+        p.hidden, TimeAxis::Source));
+
+    for (unsigned i = 0; i < p.layers; ++i) {
+        model.add(std::make_unique<AttentionLayer>(
+            csprintf("self_attn_%u", i), p.hidden, TimeAxis::Source));
+        model.add(std::make_unique<FullyConnectedLayer>(
+            csprintf("ffn_up_%u", i), p.hidden, p.ffn,
+            TimeAxis::Source));
+        model.add(std::make_unique<FullyConnectedLayer>(
+            csprintf("ffn_down_%u", i), p.ffn, p.hidden,
+            TimeAxis::Source));
+    }
+
+    model.add(std::make_unique<FullyConnectedLayer>("classifier",
+        p.hidden, p.vocab, TimeAxis::Source));
+    model.add(std::make_unique<SoftmaxLossLayer>("loss", p.vocab,
+        TimeAxis::Source));
+
+    return model;
+}
+
+} // namespace models
+} // namespace seqpoint

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * A small Transformer encoder classifier. The paper's discussion
+ * (section VII-B) argues SeqPoint applies to any network whose
+ * computation scales with the input sequence length, naming attention
+ * models explicitly; this model backs that claim in the examples and
+ * extension tests.
+ */
+
+#ifndef SEQPOINT_MODELS_TRANSFORMER_HH
+#define SEQPOINT_MODELS_TRANSFORMER_HH
+
+#include "nn/model.hh"
+
+namespace seqpoint {
+namespace models {
+
+/** Structural hyper-parameters of the Transformer build. */
+struct TransformerParams {
+    int64_t vocab = 32000;    ///< Subword vocabulary.
+    int64_t hidden = 512;     ///< Model width.
+    int64_t ffn = 2048;       ///< Feed-forward inner width.
+    unsigned layers = 6;      ///< Encoder blocks.
+};
+
+/**
+ * Build the Transformer model.
+ *
+ * @param params Structural hyper-parameters.
+ * @return The assembled model.
+ */
+nn::Model buildTransformer(const TransformerParams &params =
+                               TransformerParams{});
+
+} // namespace models
+} // namespace seqpoint
+
+#endif // SEQPOINT_MODELS_TRANSFORMER_HH

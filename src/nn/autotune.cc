@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Autotuner implementation.
+ */
+
+#include "nn/autotune.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/kernel_gen.hh"
+
+namespace seqpoint {
+namespace nn {
+
+std::string
+GemmVariant::suffix() const
+{
+    return csprintf("MT%ux%u_K%u", tileM, tileN, tileK);
+}
+
+const std::vector<GemmVariant> &
+gemmVariantMenu()
+{
+    static const std::vector<GemmVariant> menu = {
+        {128, 128, 16},
+        {128, 64, 16},
+        {64, 64, 16},
+        {64, 32, 16},
+        {32, 32, 16},
+        {16, 16, 16},
+    };
+    return menu;
+}
+
+Autotuner::Autotuner(Mode mode, const sim::Gpu *gpu)
+    : mode(mode), gpu(gpu)
+{
+    fatal_if(mode == Mode::Measured && gpu == nullptr,
+             "Measured autotune mode requires a device");
+}
+
+const GemmVariant &
+Autotuner::select(int64_t m, int64_t n, int64_t k)
+{
+    panic_if(m <= 0 || n <= 0 || k <= 0,
+             "Autotuner: non-positive GEMM dims %lld x %lld x %lld",
+             static_cast<long long>(m), static_cast<long long>(n),
+             static_cast<long long>(k));
+
+    ShapeKey key{m, n, k};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    GemmVariant chosen = (mode == Mode::Heuristic)
+        ? chooseHeuristic(m, n, k)
+        : chooseMeasured(m, n, k);
+    auto [pos, inserted] = cache.emplace(key, chosen);
+    (void)inserted;
+    return pos->second;
+}
+
+GemmVariant
+Autotuner::chooseHeuristic(int64_t m, int64_t n, int64_t k) const
+{
+    // Cost model: blocked-GEMM memory traffic plus a padding-waste
+    // penalty for tiles that overhang the matrix edges. Mirrors what
+    // rocBLAS' shape heuristics optimise for.
+    const auto &menu = gemmVariantMenu();
+    double best_cost = 0.0;
+    const GemmVariant *best = nullptr;
+
+    for (const GemmVariant &v : menu) {
+        double nb_m = std::ceil(static_cast<double>(m) / v.tileM);
+        double nb_n = std::ceil(static_cast<double>(n) / v.tileN);
+        double traffic =
+            static_cast<double>(m) * static_cast<double>(k) * nb_n +
+            static_cast<double>(k) * static_cast<double>(n) * nb_m;
+        double padded = nb_m * v.tileM * nb_n * v.tileN;
+        double waste = padded / (static_cast<double>(m) *
+            static_cast<double>(n));
+        double cost = traffic * waste;
+        if (best == nullptr || cost < best_cost) {
+            best = &v;
+            best_cost = cost;
+        }
+    }
+    return *best;
+}
+
+GemmVariant
+Autotuner::chooseMeasured(int64_t m, int64_t n, int64_t k)
+{
+    const auto &menu = gemmVariantMenu();
+    double best_time = 0.0;
+    const GemmVariant *best = nullptr;
+
+    for (const GemmVariant &v : menu) {
+        sim::KernelDesc desc = gemmKernelForVariant("autotune_probe",
+                                                    m, n, k, v);
+        sim::KernelRecord rec = gpu->execute(desc);
+        tuningCost += rec.timeSec;
+        if (best == nullptr || rec.timeSec < best_time) {
+            best = &v;
+            best_time = rec.timeSec;
+        }
+    }
+    return *best;
+}
+
+void
+Autotuner::reset()
+{
+    cache.clear();
+    tuningCost = 0.0;
+}
+
+} // namespace nn
+} // namespace seqpoint

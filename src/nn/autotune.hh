@@ -1,0 +1,99 @@
+/**
+ * @file
+ * GEMM autotuner. High-level MI frameworks run an "autotune" phase
+ * that tries several tiled kernel variants per GEMM shape and caches
+ * the fastest (paper section IV-C2). The selected variant changes both
+ * the kernel *name* (hence the unique-kernel analyses, Fig 5) and its
+ * memory traffic, so tuning is a first-class part of the lowering
+ * substrate.
+ */
+
+#ifndef SEQPOINT_NN_AUTOTUNE_HH
+#define SEQPOINT_NN_AUTOTUNE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace nn {
+
+/** One tiled GEMM implementation choice. */
+struct GemmVariant {
+    unsigned tileM = 64; ///< Output-tile rows.
+    unsigned tileN = 64; ///< Output-tile columns.
+    unsigned tileK = 16; ///< K-panel depth held in LDS.
+
+    /** @return Name suffix, e.g. "MT64x64_K16". */
+    std::string suffix() const;
+};
+
+/** @return The candidate variant menu (largest to smallest tiles). */
+const std::vector<GemmVariant> &gemmVariantMenu();
+
+/**
+ * Shape -> variant cache with two selection policies.
+ *
+ * Heuristic mode picks by a traffic-plus-waste cost model (pure
+ * function of shape). Measured mode times every candidate on the
+ * bound device -- the expensive paper-style autotune -- and records
+ * the accumulated tuning cost so callers can include or exclude it
+ * from training-time accounts.
+ */
+class Autotuner
+{
+  public:
+    /** Selection policy. */
+    enum class Mode {
+        Heuristic, ///< Shape-based cost model, zero tuning cost.
+        Measured,  ///< Time all candidates on the device.
+    };
+
+    /**
+     * Construct an autotuner.
+     *
+     * @param mode Selection policy.
+     * @param gpu Device used by Measured mode (may be null for
+     *            Heuristic).
+     */
+    explicit Autotuner(Mode mode, const sim::Gpu *gpu = nullptr);
+
+    /**
+     * Select (and cache) the variant for a GEMM shape.
+     *
+     * @param m GEMM M dimension.
+     * @param n GEMM N dimension.
+     * @param k GEMM K dimension.
+     * @return The chosen variant.
+     */
+    const GemmVariant &select(int64_t m, int64_t n, int64_t k);
+
+    /** @return Accumulated Measured-mode tuning time in seconds. */
+    double tuningCostSec() const { return tuningCost; }
+
+    /** @return Number of distinct shapes tuned so far. */
+    size_t cacheSize() const { return cache.size(); }
+
+    /** Drop the cache (fresh training run). */
+    void reset();
+
+  private:
+    using ShapeKey = std::tuple<int64_t, int64_t, int64_t>;
+
+    Mode mode;
+    const sim::Gpu *gpu;
+    std::map<ShapeKey, GemmVariant> cache;
+    double tuningCost = 0.0;
+
+    GemmVariant chooseHeuristic(int64_t m, int64_t n, int64_t k) const;
+    GemmVariant chooseMeasured(int64_t m, int64_t n, int64_t k);
+};
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_AUTOTUNE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Kernel generation helpers: lower individual tensor operations
+ * (GEMM, implicit-GEMM convolution, softmax, batch-norm, embedding,
+ * transpose) into sim::KernelDesc records with realistic FLOP and
+ * memory-request volumes.
+ */
+
+#ifndef SEQPOINT_NN_KERNEL_GEN_HH
+#define SEQPOINT_NN_KERNEL_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/kernel.hh"
+
+namespace seqpoint {
+namespace nn {
+
+class Autotuner;
+struct GemmVariant;
+
+/**
+ * Build a GEMM kernel for an explicit variant (no tuner consulted).
+ *
+ * Traffic follows the classic blocked-GEMM model: the A panel is
+ * re-read once per column block and B once per row block, after
+ * register/LDS blocking inside a tile.
+ *
+ * @param base Logical operation name (e.g. "gemm_fc_fwd").
+ * @param m Rows of A/C.
+ * @param n Columns of B/C.
+ * @param k Inner dimension.
+ * @param variant Tiling choice.
+ */
+sim::KernelDesc gemmKernelForVariant(const std::string &base, int64_t m,
+                                     int64_t n, int64_t k,
+                                     const GemmVariant &variant);
+
+/**
+ * Build a GEMM kernel using the autotuner's variant for the shape.
+ *
+ * @param base Logical operation name.
+ * @param m Rows of A/C.
+ * @param n Columns of B/C.
+ * @param k Inner dimension.
+ * @param tuner Variant source (caches per shape).
+ */
+sim::KernelDesc makeGemm(const std::string &base, int64_t m, int64_t n,
+                         int64_t k, Autotuner &tuner);
+
+/**
+ * Implicit-GEMM convolution: filters [out_c, in_c, kh, kw] over an
+ * input [batch, in_c, h, w] with the given strides.
+ *
+ * @param base Logical operation name.
+ * @param batch Batch size.
+ * @param in_c Input channels.
+ * @param out_c Output channels.
+ * @param h Input height (time axis for DS2).
+ * @param w Input width (frequency axis for DS2).
+ * @param kh Kernel height.
+ * @param kw Kernel width.
+ * @param stride_h Stride along h.
+ * @param stride_w Stride along w.
+ * @param tuner Variant source.
+ */
+sim::KernelDesc makeConv2d(const std::string &base, int64_t batch,
+                           int64_t in_c, int64_t out_c, int64_t h,
+                           int64_t w, int64_t kh, int64_t kw,
+                           int64_t stride_h, int64_t stride_w,
+                           Autotuner &tuner);
+
+/**
+ * Fused softmax over `rows` rows of `cols` elements. The block-size
+ * variant (chosen from cols) is part of the kernel name.
+ */
+sim::KernelDesc makeSoftmax(const std::string &base, int64_t rows,
+                            int64_t cols);
+
+/** Batch-norm statistics + normalisation over `elems` elements. */
+sim::KernelDesc makeBatchNorm(const std::string &base, int64_t elems);
+
+/**
+ * Embedding-table gather: `lookups` rows of `embed_dim` from a
+ * `vocab`-row table. The table is the L2-visible working set, so
+ * vocabulary size directly affects runtime (paper observation 6).
+ */
+sim::KernelDesc makeEmbeddingGather(const std::string &base,
+                                    int64_t lookups, int64_t embed_dim,
+                                    int64_t vocab);
+
+/** Layout-change kernel moving `elems` 4-byte elements. */
+sim::KernelDesc makeTranspose(const std::string &base, int64_t elems);
+
+/** Tiny scalar bookkeeping launch (optimizer counters, LR decay). */
+sim::KernelDesc makeScalarOp(const std::string &base);
+
+/** Conv output length for one spatial axis. */
+int64_t convOutLen(int64_t in_len, int64_t kernel, int64_t stride);
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_KERNEL_GEN_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Attention layer connecting a decoder to encoder states. Scores every
+ * encoder position for every decoder step, so its cost grows with the
+ * product of the two sequence lengths -- the strongest super-linear
+ * term in GNMT's per-iteration profile.
+ */
+
+#ifndef SEQPOINT_NN_LAYERS_ATTENTION_HH
+#define SEQPOINT_NN_LAYERS_ATTENTION_HH
+
+#include "nn/layer.hh"
+
+namespace seqpoint {
+namespace nn {
+
+/** Encoder-decoder (or self-) attention layer. */
+class AttentionLayer : public Layer
+{
+  public:
+    /**
+     * Construct an attention layer.
+     *
+     * @param name Layer instance name.
+     * @param hidden Hidden size of queries/keys/values.
+     * @param query_axis Axis the query count scales with (Target for
+     *                   encoder-decoder attention, Source for
+     *                   self-attention).
+     */
+    AttentionLayer(std::string name, int64_t hidden, TimeAxis query_axis);
+
+    void lowerForward(LowerCtx &ctx) const override;
+    void lowerBackward(LowerCtx &ctx) const override;
+    uint64_t paramCount() const override;
+
+  private:
+    int64_t hidden;
+    TimeAxis queryAxis;
+};
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_LAYERS_ATTENTION_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Embedding layer: vocabulary-table gather (forward) and scatter-add
+ * (backward). The table itself is the dominant working set, so the
+ * vocabulary size materially affects runtime -- the paper's
+ * observation 6.
+ */
+
+#ifndef SEQPOINT_NN_LAYERS_EMBEDDING_HH
+#define SEQPOINT_NN_LAYERS_EMBEDDING_HH
+
+#include "nn/layer.hh"
+
+namespace seqpoint {
+namespace nn {
+
+/** Token-embedding lookup layer. */
+class EmbeddingLayer : public Layer
+{
+  public:
+    /**
+     * Construct an embedding layer.
+     *
+     * @param name Layer instance name.
+     * @param vocab Vocabulary size (rows of the table).
+     * @param dim Embedding dimension.
+     * @param axis Sequence axis the lookups scale with.
+     */
+    EmbeddingLayer(std::string name, int64_t vocab, int64_t dim,
+                   TimeAxis axis);
+
+    void lowerForward(LowerCtx &ctx) const override;
+    void lowerBackward(LowerCtx &ctx) const override;
+    uint64_t paramCount() const override;
+
+    /** @return Vocabulary size. */
+    int64_t vocabSize() const { return vocab; }
+
+  private:
+    int64_t vocab;
+    int64_t dim;
+    TimeAxis axis;
+};
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_LAYERS_EMBEDDING_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Recurrent layer lowering.
+ */
+
+#include "nn/layers/recurrent.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "nn/kernel_gen.hh"
+
+namespace seqpoint {
+namespace nn {
+
+int64_t
+gateCount(CellType type)
+{
+    return type == CellType::Lstm ? 4 : 3;
+}
+
+RecurrentLayer::RecurrentLayer(std::string name, CellType type,
+                               int64_t input_dim, int64_t hidden,
+                               bool bidirectional, TimeAxis axis)
+    : Layer(std::move(name)), type(type), inputDim(input_dim),
+      hidden(hidden), bidirectional(bidirectional), axis(axis)
+{
+    fatal_if(input_dim <= 0 || hidden <= 0,
+             "RecurrentLayer: bad dimensions");
+}
+
+int64_t
+RecurrentLayer::outputDim() const
+{
+    return bidirectional ? 2 * hidden : hidden;
+}
+
+const char *
+RecurrentLayer::cellName() const
+{
+    return type == CellType::Lstm ? "lstm" : "gru";
+}
+
+void
+RecurrentLayer::lowerDirectionForward(LowerCtx &ctx, int64_t steps) const
+{
+    int64_t gates = gateCount(type);
+    int64_t batch = ctx.batch;
+    const char *cell = cellName();
+
+    // Input-side GEMM batched over all time steps:
+    // [gates*H, inputDim] x [inputDim, B*T].
+    ctx.emit(makeGemm(csprintf("%s_wx_fwd", cell), gates * hidden,
+                      batch * steps, inputDim, *ctx.tuner));
+
+    // Recurrent GEMM, once per step: [gates*H, H] x [H, B].
+    sim::KernelDesc rec = makeGemm(csprintf("%s_wh_fwd", cell),
+                                   gates * hidden, batch, hidden,
+                                   *ctx.tuner);
+    rec.repeat = static_cast<uint64_t>(steps);
+    ctx.emit(std::move(rec));
+
+    // Fused gate math, once per step: sigmoids/tanh over B x gates*H.
+    sim::KernelDesc gate = sim::makeElementwise(csprintf("%s_cell_fwd", cell),
+        static_cast<double>(batch * gates * hidden), 8.0, 3.0, 2.0);
+    gate.repeat = static_cast<uint64_t>(steps);
+    ctx.emit(std::move(gate));
+}
+
+void
+RecurrentLayer::lowerDirectionBackward(LowerCtx &ctx, int64_t steps) const
+{
+    int64_t gates = gateCount(type);
+    int64_t batch = ctx.batch;
+    const char *cell = cellName();
+
+    // Per-step gate backward (more operands than forward).
+    sim::KernelDesc gate = sim::makeElementwise(csprintf("%s_cell_bwd", cell),
+        static_cast<double>(batch * gates * hidden), 10.0, 5.0, 3.0);
+    gate.repeat = static_cast<uint64_t>(steps);
+    ctx.emit(std::move(gate));
+
+    // Per-step recurrent data gradient: [H, gates*H] x [gates*H, B].
+    sim::KernelDesc rec = makeGemm(csprintf("%s_wh_bwd_data", cell),
+                                   hidden, batch, gates * hidden,
+                                   *ctx.tuner);
+    rec.repeat = static_cast<uint64_t>(steps);
+    ctx.emit(std::move(rec));
+
+    // Input data gradient batched over steps:
+    // [inputDim, gates*H] x [gates*H, B*T].
+    ctx.emit(makeGemm(csprintf("%s_wx_bwd_data", cell), inputDim,
+                      batch * steps, gates * hidden, *ctx.tuner));
+
+    // Weight gradients, reduced over B*T:
+    // dWx: [gates*H, B*T] x [B*T, inputDim].
+    ctx.emit(makeGemm(csprintf("%s_wx_bwd_wgrad", cell), gates * hidden,
+                      inputDim, batch * steps, *ctx.tuner));
+    // dWh: [gates*H, B*T] x [B*T, H].
+    ctx.emit(makeGemm(csprintf("%s_wh_bwd_wgrad", cell), gates * hidden,
+                      hidden, batch * steps, *ctx.tuner));
+}
+
+void
+RecurrentLayer::lowerForward(LowerCtx &ctx) const
+{
+    int64_t steps = ctx.steps(axis);
+    int64_t dirs = bidirectional ? 2 : 1;
+    for (int64_t d = 0; d < dirs; ++d)
+        lowerDirectionForward(ctx, steps);
+    if (bidirectional) {
+        // Concatenate the two directions' outputs.
+        ctx.emit(sim::makeMemcpy(csprintf("%s_concat_dirs", cellName()),
+            static_cast<double>(ctx.batch) *
+            static_cast<double>(steps) *
+            static_cast<double>(2 * hidden) * 4.0));
+    }
+}
+
+void
+RecurrentLayer::lowerBackward(LowerCtx &ctx) const
+{
+    int64_t steps = ctx.steps(axis);
+    int64_t dirs = bidirectional ? 2 : 1;
+    for (int64_t d = 0; d < dirs; ++d)
+        lowerDirectionBackward(ctx, steps);
+}
+
+uint64_t
+RecurrentLayer::paramCount() const
+{
+    uint64_t gates = static_cast<uint64_t>(gateCount(type));
+    uint64_t per_dir = gates * static_cast<uint64_t>(hidden) *
+        (static_cast<uint64_t>(inputDim) + static_cast<uint64_t>(hidden)
+         + 1);
+    return bidirectional ? 2 * per_dir : per_dir;
+}
+
+} // namespace nn
+} // namespace seqpoint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Softmax loss lowering.
+ */
+
+#include "nn/layers/softmax_loss.hh"
+
+#include "common/logging.hh"
+#include "nn/kernel_gen.hh"
+
+namespace seqpoint {
+namespace nn {
+
+SoftmaxLossLayer::SoftmaxLossLayer(std::string name, int64_t classes,
+                                   TimeAxis axis, int64_t fixed_steps)
+    : Layer(std::move(name)), classes(classes), axis(axis),
+      fixedSteps(fixed_steps)
+{
+    fatal_if(classes <= 0, "SoftmaxLossLayer: bad class count");
+}
+
+void
+SoftmaxLossLayer::lowerForward(LowerCtx &ctx) const
+{
+    int64_t rows = static_cast<int64_t>(ctx.batch) *
+        ctx.steps(axis, fixedSteps);
+    ctx.emit(makeSoftmax("loss_softmax_fwd", rows, classes));
+    ctx.emit(sim::makeReduction("loss_nll_reduce",
+        static_cast<double>(rows)));
+}
+
+void
+SoftmaxLossLayer::lowerBackward(LowerCtx &ctx) const
+{
+    int64_t rows = static_cast<int64_t>(ctx.batch) *
+        ctx.steps(axis, fixedSteps);
+    // dLogits = p - onehot: one pass over the full probability matrix.
+    ctx.emit(sim::makeElementwise("loss_grad_bwd",
+        static_cast<double>(rows) * static_cast<double>(classes),
+        1.0, 1.0, 1.0));
+}
+
+uint64_t
+SoftmaxLossLayer::paramCount() const
+{
+    return 0;
+}
+
+} // namespace nn
+} // namespace seqpoint

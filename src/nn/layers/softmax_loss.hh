@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Softmax + cross-entropy loss head: per-step class distribution over
+ * the vocabulary, loss reduction, and the cheap p-minus-onehot
+ * gradient. The vocabulary-wide softmax is a large, SL-scaled kernel.
+ */
+
+#ifndef SEQPOINT_NN_LAYERS_SOFTMAX_LOSS_HH
+#define SEQPOINT_NN_LAYERS_SOFTMAX_LOSS_HH
+
+#include "nn/layer.hh"
+
+namespace seqpoint {
+namespace nn {
+
+/** Softmax cross-entropy loss layer. */
+class SoftmaxLossLayer : public Layer
+{
+  public:
+    /**
+     * Construct a loss head.
+     *
+     * @param name Layer instance name.
+     * @param classes Class count (vocabulary size).
+     * @param axis Sequence axis the row count scales with.
+     * @param fixed_steps Step count when axis == Fixed.
+     */
+    SoftmaxLossLayer(std::string name, int64_t classes, TimeAxis axis,
+                     int64_t fixed_steps = 1);
+
+    void lowerForward(LowerCtx &ctx) const override;
+    void lowerBackward(LowerCtx &ctx) const override;
+    uint64_t paramCount() const override;
+
+  private:
+    int64_t classes;
+    TimeAxis axis;
+    int64_t fixedSteps;
+};
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_LAYERS_SOFTMAX_LOSS_HH

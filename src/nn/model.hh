@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Model graph: an ordered stack of layers plus the iteration-level
+ * glue (loss backward ordering, optimizer update kernels, target-
+ * length policy). Lowering a model for a (batch, sequence length)
+ * pair yields the full kernel stream of one training iteration.
+ */
+
+#ifndef SEQPOINT_NN_MODEL_HH
+#define SEQPOINT_NN_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "sim/kernel.hh"
+
+namespace seqpoint {
+namespace nn {
+
+class Autotuner;
+
+/**
+ * A trainable network as an ordered layer stack.
+ */
+class Model
+{
+  public:
+    /**
+     * Construct an empty model.
+     *
+     * @param name Model name ("GNMT", "DS2", ...).
+     */
+    explicit Model(std::string name);
+
+    /** @return Model name. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Append a layer; execution (and forward lowering) follows
+     * insertion order.
+     *
+     * @param layer Layer to take ownership of.
+     */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** @return Number of layers. */
+    size_t numLayers() const { return layers.size(); }
+
+    /** @return Layer at position i. */
+    const Layer &layer(size_t i) const;
+
+    /** @return Total trainable parameters across layers. */
+    uint64_t paramCount() const;
+
+    /**
+     * Set the target-length policy for seq2seq models: the derived
+     * target length is max(1, round(ratio * source_length)).
+     *
+     * @param ratio Target/source length ratio (> 0).
+     */
+    void setTargetLenRatio(double ratio);
+
+    /** @return The current target/source length ratio. */
+    double targetLenRatio() const { return tgtRatio; }
+
+    /** @return Derived target length for a source length. */
+    int64_t targetLenFor(int64_t src_len) const;
+
+    /**
+     * Lower one full training iteration: forward pass in layer order,
+     * backward pass in reverse order, then optimizer updates.
+     *
+     * @param batch Batch size.
+     * @param seq_len Source sequence length of the iteration.
+     * @param tuner Autotuner shared across the run.
+     * @return The ordered kernel stream.
+     */
+    std::vector<sim::KernelDesc> lowerIteration(unsigned batch,
+                                                int64_t seq_len,
+                                                Autotuner &tuner) const;
+
+    /**
+     * Lower a forward-only (inference) pass.
+     *
+     * @param batch Batch size.
+     * @param seq_len Source sequence length.
+     * @param tuner Autotuner shared across the run.
+     * @return The ordered kernel stream.
+     */
+    std::vector<sim::KernelDesc> lowerInference(unsigned batch,
+                                                int64_t seq_len,
+                                                Autotuner &tuner) const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers;
+    double tgtRatio = 1.0;
+
+    LowerCtx makeCtx(unsigned batch, int64_t seq_len, Autotuner &tuner,
+                     std::vector<sim::KernelDesc> *out) const;
+
+    void lowerOptimizer(LowerCtx &ctx) const;
+};
+
+} // namespace nn
+} // namespace seqpoint
+
+#endif // SEQPOINT_NN_MODEL_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Iteration profile implementation.
+ */
+
+#include "profiler/iteration_profile.hh"
+
+namespace seqpoint {
+namespace prof {
+
+std::array<double, sim::numKernelClasses>
+IterationProfile::classShares() const
+{
+    std::array<double, sim::numKernelClasses> shares{};
+    if (timeSec <= 0.0)
+        return shares;
+    for (unsigned i = 0; i < sim::numKernelClasses; ++i)
+        shares[i] = classTimeSec[i] / timeSec;
+    return shares;
+}
+
+std::set<std::string>
+DetailedProfile::uniqueKernels() const
+{
+    std::set<std::string> names;
+    for (const auto &[name, time] : timeByKernel)
+        names.insert(name);
+    return names;
+}
+
+DetailedProfile
+foldRecords(int64_t seq_len, const std::vector<sim::KernelRecord> &records)
+{
+    DetailedProfile p;
+    p.seqLen = seq_len;
+    for (const sim::KernelRecord &rec : records) {
+        p.timeSec += rec.timeSec;
+        p.launches += rec.launches;
+        p.counters += rec.counters;
+        p.classTimeSec[classIndex(rec.klass)] += rec.timeSec;
+        p.timeByKernel[rec.name] += rec.timeSec;
+        p.launchesByKernel[rec.name] += rec.launches;
+    }
+    return p;
+}
+
+} // namespace prof
+} // namespace seqpoint

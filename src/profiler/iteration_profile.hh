@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-iteration execution profiles: what the paper's profiling stack
+ * (Radeon Compute Profiler) would report for one training iteration.
+ * The plain profile carries aggregates; the detailed profile keeps
+ * per-kernel records for the unique-kernel and distribution analyses.
+ */
+
+#ifndef SEQPOINT_PROFILER_ITERATION_PROFILE_HH
+#define SEQPOINT_PROFILER_ITERATION_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hh"
+#include "sim/gpu.hh"
+#include "sim/kernel.hh"
+
+namespace seqpoint {
+namespace prof {
+
+/** @return Array index for a kernel class. */
+constexpr unsigned
+classIndex(sim::KernelClass klass)
+{
+    return static_cast<unsigned>(klass);
+}
+
+/** Aggregate profile of one training iteration. */
+struct IterationProfile {
+    int64_t seqLen = 0;       ///< The iteration's sequence length.
+    double timeSec = 0.0;     ///< Iteration wall time.
+    uint64_t launches = 0;    ///< Kernel launches executed.
+    sim::PerfCounters counters; ///< Summed hardware counters.
+
+    /** Runtime attributed to each kernel class. */
+    std::array<double, sim::numKernelClasses> classTimeSec{};
+
+    /**
+     * Runtime share of each kernel class, normalised to 1.
+     *
+     * @return Shares array; all zeros when timeSec is 0.
+     */
+    std::array<double, sim::numKernelClasses> classShares() const;
+};
+
+/** Profile retaining per-kernel identity. */
+struct DetailedProfile : IterationProfile {
+    /** Runtime per distinct kernel name. */
+    std::map<std::string, double> timeByKernel;
+
+    /** Launch count per distinct kernel name. */
+    std::map<std::string, uint64_t> launchesByKernel;
+
+    /** @return The set of distinct kernel names invoked. */
+    std::set<std::string> uniqueKernels() const;
+};
+
+/**
+ * Fold a kernel-record stream into a detailed profile.
+ *
+ * @param seq_len Sequence length the stream was lowered for.
+ * @param records Executed kernel records.
+ * @return The assembled profile.
+ */
+DetailedProfile foldRecords(int64_t seq_len,
+                            const std::vector<sim::KernelRecord> &records);
+
+} // namespace prof
+} // namespace seqpoint
+
+#endif // SEQPOINT_PROFILER_ITERATION_PROFILE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Profile comparison implementation.
+ */
+
+#include "profiler/profile_compare.hh"
+
+#include <cmath>
+
+namespace seqpoint {
+namespace prof {
+
+double
+KernelOverlap::fracCommon() const
+{
+    size_t t = total();
+    return t ? static_cast<double>(common) / static_cast<double>(t) : 0.0;
+}
+
+double
+KernelOverlap::fracOnly1() const
+{
+    size_t t = total();
+    return t ? static_cast<double>(only1) / static_cast<double>(t) : 0.0;
+}
+
+double
+KernelOverlap::fracOnly2() const
+{
+    size_t t = total();
+    return t ? static_cast<double>(only2) / static_cast<double>(t) : 0.0;
+}
+
+KernelOverlap
+compareUniqueKernels(const DetailedProfile &a, const DetailedProfile &b)
+{
+    KernelOverlap ov;
+    std::set<std::string> sa = a.uniqueKernels();
+    std::set<std::string> sb = b.uniqueKernels();
+
+    for (const std::string &name : sa) {
+        if (sb.count(name))
+            ++ov.common;
+        else
+            ++ov.only1;
+    }
+    for (const std::string &name : sb) {
+        if (!sa.count(name))
+            ++ov.only2;
+    }
+    return ov;
+}
+
+double
+classShareDistance(const IterationProfile &a, const IterationProfile &b)
+{
+    auto sa = a.classShares();
+    auto sb = b.classShares();
+    double d = 0.0;
+    for (unsigned i = 0; i < sim::numKernelClasses; ++i)
+        d += std::fabs(sa[i] - sb[i]);
+    return d;
+}
+
+} // namespace prof
+} // namespace seqpoint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Execution-profile comparison utilities behind the paper's Figs 5, 6
+ * and 8: unique-kernel overlap between iterations and kernel-class
+ * runtime distribution distances.
+ */
+
+#ifndef SEQPOINT_PROFILER_PROFILE_COMPARE_HH
+#define SEQPOINT_PROFILER_PROFILE_COMPARE_HH
+
+#include "profiler/iteration_profile.hh"
+
+namespace seqpoint {
+namespace prof {
+
+/** Unique-kernel overlap between two iterations (Fig 5). */
+struct KernelOverlap {
+    size_t common = 0;  ///< Kernels invoked by both iterations.
+    size_t only1 = 0;   ///< Kernels invoked only by the first.
+    size_t only2 = 0;   ///< Kernels invoked only by the second.
+
+    /** @return Total distinct kernels across both iterations. */
+    size_t total() const { return common + only1 + only2; }
+
+    /** @return common / total, in [0, 1]. */
+    double fracCommon() const;
+
+    /** @return only1 / total. */
+    double fracOnly1() const;
+
+    /** @return only2 / total. */
+    double fracOnly2() const;
+};
+
+/**
+ * Compare the distinct kernel sets of two iterations.
+ *
+ * @param a First iteration's detailed profile.
+ * @param b Second iteration's detailed profile.
+ */
+KernelOverlap compareUniqueKernels(const DetailedProfile &a,
+                                   const DetailedProfile &b);
+
+/**
+ * L1 distance between two iterations' kernel-class runtime shares
+ * (0 = identical distribution, 2 = disjoint).
+ *
+ * @param a First iteration's profile.
+ * @param b Second iteration's profile.
+ */
+double classShareDistance(const IterationProfile &a,
+                          const IterationProfile &b);
+
+} // namespace prof
+} // namespace seqpoint
+
+#endif // SEQPOINT_PROFILER_PROFILE_COMPARE_HH

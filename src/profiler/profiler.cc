@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Profiler implementation.
+ */
+
+#include "profiler/profiler.hh"
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace prof {
+
+Profiler::Profiler(const sim::Gpu &gpu, const nn::Model &model,
+                   nn::Autotuner &tuner, unsigned batch)
+    : gpu_(gpu), model(model), tuner(tuner), batch(batch)
+{
+    fatal_if(batch == 0, "Profiler: zero batch size");
+}
+
+const IterationProfile &
+Profiler::profileIteration(int64_t seq_len)
+{
+    auto it = trainCache.find(seq_len);
+    if (it != trainCache.end())
+        return it->second;
+
+    std::vector<sim::KernelDesc> kernels =
+        model.lowerIteration(batch, seq_len, tuner);
+    sim::ExecutionResult res = gpu_.executeAll(kernels,
+                                               /*keep_records=*/true);
+    DetailedProfile detail = foldRecords(seq_len, res.records);
+
+    IterationProfile p = static_cast<IterationProfile>(detail);
+    auto [pos, inserted] = trainCache.emplace(seq_len, std::move(p));
+    (void)inserted;
+    return pos->second;
+}
+
+DetailedProfile
+Profiler::profileIterationDetailed(int64_t seq_len) const
+{
+    std::vector<sim::KernelDesc> kernels =
+        model.lowerIteration(batch, seq_len, tuner);
+    sim::ExecutionResult res = gpu_.executeAll(kernels,
+                                               /*keep_records=*/true);
+    return foldRecords(seq_len, res.records);
+}
+
+const IterationProfile &
+Profiler::profileInference(int64_t seq_len)
+{
+    auto it = inferCache.find(seq_len);
+    if (it != inferCache.end())
+        return it->second;
+
+    std::vector<sim::KernelDesc> kernels =
+        model.lowerInference(batch, seq_len, tuner);
+    sim::ExecutionResult res = gpu_.executeAll(kernels,
+                                               /*keep_records=*/true);
+    DetailedProfile detail = foldRecords(seq_len, res.records);
+
+    IterationProfile p = static_cast<IterationProfile>(detail);
+    auto [pos, inserted] = inferCache.emplace(seq_len, std::move(p));
+    (void)inserted;
+    return pos->second;
+}
+
+} // namespace prof
+} // namespace seqpoint

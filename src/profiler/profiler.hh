@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Profiler binds a model to a device and measures iterations at
+ * given sequence lengths. Because iteration behaviour is a pure
+ * function of SL for a fixed model/batch/device (the paper's key
+ * observation 4), profiles are memoized per SL.
+ */
+
+#ifndef SEQPOINT_PROFILER_PROFILER_HH
+#define SEQPOINT_PROFILER_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+
+#include "nn/autotune.hh"
+#include "nn/model.hh"
+#include "profiler/iteration_profile.hh"
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace prof {
+
+/** Measures training iterations of one model on one device. */
+class Profiler
+{
+  public:
+    /**
+     * Construct a profiler.
+     *
+     * Lifetimes: the gpu, model and tuner must outlive the profiler.
+     *
+     * @param gpu Device to execute on.
+     * @param model Network to lower.
+     * @param tuner Autotuner shared across the run.
+     * @param batch Batch size used for every iteration.
+     */
+    Profiler(const sim::Gpu &gpu, const nn::Model &model,
+             nn::Autotuner &tuner, unsigned batch);
+
+    /**
+     * Profile a training iteration at a sequence length (memoized).
+     *
+     * @param seq_len Sequence length.
+     * @return Aggregate profile (reference valid until destruction).
+     */
+    const IterationProfile &profileIteration(int64_t seq_len);
+
+    /**
+     * Profile with per-kernel detail (not memoized; heavier).
+     *
+     * @param seq_len Sequence length.
+     */
+    DetailedProfile profileIterationDetailed(int64_t seq_len) const;
+
+    /**
+     * Profile a forward-only (inference/evaluation) pass (memoized).
+     *
+     * @param seq_len Sequence length.
+     */
+    const IterationProfile &profileInference(int64_t seq_len);
+
+    /** @return The device this profiler executes on. */
+    const sim::Gpu &gpu() const { return gpu_; }
+
+    /** @return The configured batch size. */
+    unsigned batchSize() const { return batch; }
+
+    /** @return Number of memoized training profiles. */
+    size_t cacheSize() const { return trainCache.size(); }
+
+  private:
+    const sim::Gpu &gpu_;
+    const nn::Model &model;
+    nn::Autotuner &tuner;
+    unsigned batch;
+
+    std::map<int64_t, IterationProfile> trainCache;
+    std::map<int64_t, IterationProfile> inferCache;
+};
+
+} // namespace prof
+} // namespace seqpoint
+
+#endif // SEQPOINT_PROFILER_PROFILER_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Epoch trainer implementation.
+ */
+
+#include "profiler/trainer.hh"
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace prof {
+
+double
+TrainLog::totalSec(bool include_autotune) const
+{
+    double t = trainSec + evalSec;
+    if (include_autotune)
+        t += autotuneSec;
+    return t;
+}
+
+double
+TrainLog::throughput(unsigned batch) const
+{
+    if (trainSec <= 0.0)
+        return 0.0;
+    return static_cast<double>(iterations.size()) *
+        static_cast<double>(batch) / trainSec;
+}
+
+TrainLog
+runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
+                 const data::Dataset &dataset, const TrainConfig &cfg)
+{
+    fatal_if(dataset.trainLens.empty(), "runTrainingEpoch: empty dataset");
+
+    nn::Autotuner tuner(cfg.tunerMode, &gpu);
+    Profiler profiler(gpu, model, tuner, cfg.batchSize);
+
+    Rng rng(cfg.seed, 0xba7c);
+    std::vector<data::Batch> batches = data::makeEpochBatches(
+        dataset.trainLens, cfg.batchSize, cfg.policy, rng);
+
+    TrainLog log;
+    log.iterations.reserve(batches.size());
+
+    for (const data::Batch &b : batches) {
+        const IterationProfile &p = profiler.profileIteration(b.seqLen);
+        log.iterations.push_back(IterationLog{b.seqLen, p.timeSec});
+        log.trainSec += p.timeSec;
+        log.counters += p.counters;
+    }
+
+    if (cfg.runEval && !dataset.evalLens.empty() &&
+        dataset.evalLens.size() >= cfg.batchSize) {
+        std::vector<data::Batch> eval_batches = data::makeEpochBatches(
+            dataset.evalLens, cfg.batchSize,
+            data::BatchPolicy::Bucketed, rng);
+        for (const data::Batch &b : eval_batches) {
+            const IterationProfile &p =
+                profiler.profileInference(b.seqLen);
+            log.evalSec += p.timeSec * cfg.evalCostMultiplier;
+        }
+    }
+
+    log.autotuneSec = tuner.tuningCostSec();
+    return log;
+}
+
+} // namespace prof
+} // namespace seqpoint

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Epoch trainer: runs one full training epoch of a model over a
+ * dataset on a simulated device, producing the per-iteration log that
+ * SeqPoint consumes plus the non-training accounts (autotune and
+ * evaluation phases) the paper's section IV-C discusses.
+ */
+
+#ifndef SEQPOINT_PROFILER_TRAINER_HH
+#define SEQPOINT_PROFILER_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/batching.hh"
+#include "data/dataset.hh"
+#include "nn/model.hh"
+#include "profiler/profiler.hh"
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace prof {
+
+/** Training-run parameters. */
+struct TrainConfig {
+    unsigned batchSize = 64;                ///< Samples per batch.
+    data::BatchPolicy policy =
+        data::BatchPolicy::Shuffled;        ///< Iteration order.
+    bool runEval = true;                    ///< Run the eval phase.
+    double evalCostMultiplier = 1.0;        ///< Eval batch cost as a
+                                            ///< multiple of a forward
+                                            ///< pass (beam search).
+    nn::Autotuner::Mode tunerMode =
+        nn::Autotuner::Mode::Measured;      ///< Autotune policy.
+    uint64_t seed = 1;                      ///< Shuffle seed.
+};
+
+/** One logged training iteration. */
+struct IterationLog {
+    int64_t seqLen = 0;   ///< The iteration's sequence length.
+    double timeSec = 0.0; ///< The iteration's wall time.
+};
+
+/** Result of one training epoch. */
+struct TrainLog {
+    std::vector<IterationLog> iterations; ///< In execution order.
+    double trainSec = 0.0;    ///< Sum of training-iteration times.
+    double evalSec = 0.0;     ///< Evaluation-phase time.
+    double autotuneSec = 0.0; ///< One-time autotune cost.
+    sim::PerfCounters counters; ///< Training-iteration counters.
+
+    /** @return Iteration count in the epoch. */
+    size_t numIterations() const { return iterations.size(); }
+
+    /**
+     * Epoch wall time. Autotune is excluded by default, matching the
+     * paper's observation that the one-time tuning phase should be
+     * ignored when characterising steady-state training.
+     *
+     * @param include_autotune Include the tuning cost.
+     */
+    double totalSec(bool include_autotune = false) const;
+
+    /**
+     * Training throughput in samples/s (the paper's speedup metric).
+     *
+     * @param batch Batch size the epoch ran with.
+     */
+    double throughput(unsigned batch) const;
+};
+
+/**
+ * Run one training epoch.
+ *
+ * @param gpu Device to run on.
+ * @param model Network to train.
+ * @param dataset Dataset supplying sample sequence lengths.
+ * @param cfg Training-run parameters.
+ * @return The epoch log.
+ */
+TrainLog runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
+                          const data::Dataset &dataset,
+                          const TrainConfig &cfg);
+
+} // namespace prof
+} // namespace seqpoint
+
+#endif // SEQPOINT_PROFILER_TRAINER_HH

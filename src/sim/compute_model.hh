@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Compute-side timing: VALU instruction counts and execution time for
+ * a kernel's arithmetic given the device's lanes, clock and the
+ * kernel's achievable occupancy.
+ */
+
+#ifndef SEQPOINT_SIM_COMPUTE_MODEL_HH
+#define SEQPOINT_SIM_COMPUTE_MODEL_HH
+
+#include "sim/gpu_config.hh"
+#include "sim/kernel.hh"
+#include "sim/occupancy.hh"
+
+namespace seqpoint {
+namespace sim {
+
+/** Compute-side estimate for one kernel. */
+struct ComputeEstimate {
+    double timeSec = 0.0;     ///< Pure-compute execution time.
+    double valuInsts = 0.0;   ///< Vector ALU instructions issued.
+    double saluInsts = 0.0;   ///< Scalar ALU instructions issued.
+    double efficiency = 0.0;  ///< Achieved fraction of peak FLOPs.
+};
+
+/**
+ * Peak-fraction a well-tuned kernel of this class reaches on dense
+ * arithmetic, before occupancy effects.
+ *
+ * @param klass Kernel class.
+ * @return Efficiency in (0, 1].
+ */
+double classComputeEfficiency(KernelClass klass);
+
+/**
+ * Estimate compute time and instruction counts.
+ *
+ * VALU instructions: one FMA per lane per instruction; non-FMA classes
+ * issue roughly one op per FLOP. Overhead instructions (address math,
+ * control) are folded in with a per-class multiplier.
+ *
+ * @param desc Kernel descriptor.
+ * @param occ Occupancy previously computed for this launch.
+ * @param cfg Device configuration.
+ */
+ComputeEstimate estimateCompute(const KernelDesc &desc,
+                                const Occupancy &occ,
+                                const GpuConfig &cfg);
+
+} // namespace sim
+} // namespace seqpoint
+
+#endif // SEQPOINT_SIM_COMPUTE_MODEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Performance counter implementation.
+ */
+
+#include "sim/counters.hh"
+
+#include "common/strutil.hh"
+
+namespace seqpoint {
+namespace sim {
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &other)
+{
+    kernelsLaunched += other.kernelsLaunched;
+    valuInsts += other.valuInsts;
+    saluInsts += other.saluInsts;
+    bytesLoaded += other.bytesLoaded;
+    bytesStored += other.bytesStored;
+    l1HitBytes += other.l1HitBytes;
+    l2HitBytes += other.l2HitBytes;
+    dramBytes += other.dramBytes;
+    writeStallSec += other.writeStallSec;
+    busySec += other.busySec;
+    launchSec += other.launchSec;
+    return *this;
+}
+
+PerfCounters &
+PerfCounters::operator*=(double factor)
+{
+    kernelsLaunched *= factor;
+    valuInsts *= factor;
+    saluInsts *= factor;
+    bytesLoaded *= factor;
+    bytesStored *= factor;
+    l1HitBytes *= factor;
+    l2HitBytes *= factor;
+    dramBytes *= factor;
+    writeStallSec *= factor;
+    busySec *= factor;
+    launchSec *= factor;
+    return *this;
+}
+
+std::string
+PerfCounters::summary() const
+{
+    return csprintf(
+        "kernels=%.0f valu=%.3g loads=%.3gB stores=%.3gB dram=%.3gB "
+        "wr_stall=%.3gs busy=%.3gs",
+        kernelsLaunched, valuInsts, bytesLoaded, bytesStored, dramBytes,
+        writeStallSec, busySec);
+}
+
+} // namespace sim
+} // namespace seqpoint

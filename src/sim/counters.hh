@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Performance counters: the statistics the paper's profiling setup
+ * (Radeon Compute Profiler) collects per kernel -- VALU instructions,
+ * load/store traffic, cache hits, DRAM traffic and write stalls.
+ */
+
+#ifndef SEQPOINT_SIM_COUNTERS_HH
+#define SEQPOINT_SIM_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace seqpoint {
+namespace sim {
+
+/**
+ * Additive performance-counter bundle.
+ *
+ * Counter values are doubles: the simulator computes expected values
+ * analytically, not by instrumenting individual instructions.
+ */
+struct PerfCounters {
+    double kernelsLaunched = 0; ///< Kernel launches.
+    double valuInsts = 0;       ///< Vector ALU instructions.
+    double saluInsts = 0;       ///< Scalar ALU instructions.
+    double bytesLoaded = 0;     ///< Bytes requested by loads.
+    double bytesStored = 0;     ///< Bytes written by stores.
+    double l1HitBytes = 0;      ///< Load bytes served from L1.
+    double l2HitBytes = 0;      ///< Bytes served from L2.
+    double dramBytes = 0;       ///< Bytes served from DRAM.
+    double writeStallSec = 0;   ///< Time stalled on write drains.
+    double busySec = 0;         ///< Kernel busy time (excl. launch).
+    double launchSec = 0;       ///< Launch/dispatch overhead time.
+
+    /** Accumulate another bundle into this one. */
+    PerfCounters &operator+=(const PerfCounters &other);
+
+    /** @return Sum of two bundles. */
+    friend PerfCounters operator+(PerfCounters a, const PerfCounters &b)
+    {
+        a += b;
+        return a;
+    }
+
+    /** Scale all counters (used for weighted projections). */
+    PerfCounters &operator*=(double factor);
+
+    /** @return Total wall time attributed to the kernels. */
+    double totalSec() const { return busySec + launchSec; }
+
+    /** @return Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+} // namespace sim
+} // namespace seqpoint
+
+#endif // SEQPOINT_SIM_COUNTERS_HH

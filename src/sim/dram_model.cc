@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DRAM model implementation.
+ */
+
+#include "sim/dram_model.hh"
+
+#include <algorithm>
+
+namespace seqpoint {
+namespace sim {
+
+double
+effectiveDramBandwidth(KernelClass klass, const GpuConfig &cfg)
+{
+    double eff = cfg.dramEfficiency;
+    switch (klass) {
+      case KernelClass::Embedding:
+        // Gather/scatter: poor row-buffer locality.
+        eff *= 0.45;
+        break;
+      case KernelClass::Transpose:
+        // One strided side.
+        eff *= 0.70;
+        break;
+      case KernelClass::Scalar:
+        // Latency-bound single accesses.
+        eff *= 0.20;
+        break;
+      default:
+        break;
+    }
+    return cfg.dramBandwidth * eff;
+}
+
+DramService
+serviceDram(KernelClass klass, double read_bytes, double write_bytes,
+            double overlap_sec, const GpuConfig &cfg)
+{
+    DramService svc;
+    double bw = effectiveDramBandwidth(klass, cfg);
+    svc.readTimeSec = read_bytes / bw;
+
+    double drain_bw = cfg.dramBandwidth * cfg.writeDrainFraction;
+    svc.writeTimeSec = write_bytes / drain_bw;
+
+    // Drain overlaps with whatever else the kernel is doing; only the
+    // excess stalls the pipeline.
+    double cover = std::max(overlap_sec, svc.readTimeSec);
+    svc.writeStallSec = std::max(0.0, svc.writeTimeSec - cover);
+    return svc;
+}
+
+} // namespace sim
+} // namespace seqpoint

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gpu facade implementation.
+ */
+
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace sim {
+
+Gpu::Gpu(GpuConfig cfg)
+    : cfg(std::move(cfg))
+{
+}
+
+KernelRecord
+Gpu::execute(const KernelDesc &desc) const
+{
+    KernelTiming kt = timeKernel(desc, cfg);
+
+    KernelRecord rec;
+    rec.name = desc.name;
+    rec.klass = desc.klass;
+    rec.launches = desc.repeat;
+    rec.timeSec = kt.timeSec;
+    rec.memoryBound = kt.memoryBound;
+    rec.counters = kt.counters;
+    if (desc.repeat != 1) {
+        double r = static_cast<double>(desc.repeat);
+        rec.timeSec *= r;
+        rec.counters *= r;
+    }
+    return rec;
+}
+
+ExecutionResult
+Gpu::executeAll(const std::vector<KernelDesc> &kernels,
+                bool keep_records) const
+{
+    ExecutionResult result;
+    if (keep_records)
+        result.records.reserve(kernels.size());
+
+    for (const KernelDesc &desc : kernels) {
+        KernelRecord rec = execute(desc);
+        result.totalSec += rec.timeSec;
+        result.counters += rec.counters;
+        if (keep_records)
+            result.records.push_back(std::move(rec));
+    }
+    return result;
+}
+
+} // namespace sim
+} // namespace seqpoint

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Gpu facade: executes kernel sequences on a configuration and
+ * returns per-kernel records and aggregated counters. This is the
+ * simulated stand-in for the paper's Vega FE + Radeon Compute
+ * Profiler measurement stack.
+ */
+
+#ifndef SEQPOINT_SIM_GPU_HH
+#define SEQPOINT_SIM_GPU_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/counters.hh"
+#include "sim/gpu_config.hh"
+#include "sim/kernel.hh"
+#include "sim/timing_model.hh"
+
+namespace seqpoint {
+namespace sim {
+
+/** One executed kernel: descriptor identity plus measured behaviour. */
+struct KernelRecord {
+    std::string name;          ///< Kernel name (with variant suffix).
+    KernelClass klass;         ///< Operation class.
+    uint64_t launches = 1;     ///< Back-to-back launches folded in.
+    double timeSec = 0.0;      ///< Wall time of all launches.
+    bool memoryBound = false;  ///< Roofline side it landed on.
+    PerfCounters counters;     ///< Counter bundle for all launches.
+};
+
+/** Aggregate result of executing a kernel sequence. */
+struct ExecutionResult {
+    double totalSec = 0.0;           ///< Sum of kernel wall times.
+    PerfCounters counters;           ///< Summed counters.
+    std::vector<KernelRecord> records; ///< Per-kernel records
+                                       ///< (empty unless detailed).
+};
+
+/**
+ * A simulated GPU bound to one hardware configuration.
+ *
+ * Kernels execute back-to-back in launch order (the MI frameworks the
+ * paper profiles submit to a single in-order stream).
+ */
+class Gpu
+{
+  public:
+    /**
+     * Construct a device.
+     *
+     * @param cfg Hardware configuration (copied).
+     */
+    explicit Gpu(GpuConfig cfg);
+
+    /** @return The device configuration. */
+    const GpuConfig &config() const { return cfg; }
+
+    /**
+     * Execute one kernel.
+     *
+     * @param desc Kernel descriptor.
+     * @return Record with timing and counters.
+     */
+    KernelRecord execute(const KernelDesc &desc) const;
+
+    /**
+     * Execute a sequence of kernels.
+     *
+     * @param kernels Launch-ordered kernel descriptors.
+     * @param keep_records Retain per-kernel records (memory-heavy;
+     *                     used when profiling single iterations).
+     * @return Aggregated execution result.
+     */
+    ExecutionResult executeAll(const std::vector<KernelDesc> &kernels,
+                               bool keep_records = false) const;
+
+  private:
+    GpuConfig cfg;
+};
+
+} // namespace sim
+} // namespace seqpoint
+
+#endif // SEQPOINT_SIM_GPU_HH

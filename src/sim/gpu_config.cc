@@ -1,0 +1,91 @@
+/**
+ * @file
+ * GPU configuration implementation and Table II presets.
+ */
+
+#include "sim/gpu_config.hh"
+
+namespace seqpoint {
+namespace sim {
+
+double
+GpuConfig::peakFlops() const
+{
+    // Each lane retires one FMA (2 FLOPs) per cycle at peak.
+    return 2.0 * static_cast<double>(totalLanes()) * gclkHz;
+}
+
+unsigned
+GpuConfig::totalLanes() const
+{
+    return numCus * simdsPerCu * lanesPerSimd;
+}
+
+double
+GpuConfig::l1Bandwidth() const
+{
+    if (!hasL1())
+        return 0.0;
+    return l1BytesPerCycle * static_cast<double>(numCus) * gclkHz;
+}
+
+double
+GpuConfig::l2Bandwidth() const
+{
+    if (!hasL2())
+        return 0.0;
+    return l2BytesPerCycle * gclkHz;
+}
+
+GpuConfig
+GpuConfig::config1()
+{
+    GpuConfig cfg;
+    cfg.name = "config#1";
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::config2()
+{
+    GpuConfig cfg;
+    cfg.name = "config#2";
+    cfg.gclkHz = mhz(852.0);
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::config3()
+{
+    GpuConfig cfg;
+    cfg.name = "config#3";
+    cfg.numCus = 16;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::config4()
+{
+    GpuConfig cfg;
+    cfg.name = "config#4";
+    cfg.l1SizeBytes = 0;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::config5()
+{
+    GpuConfig cfg;
+    cfg.name = "config#5";
+    cfg.l2SizeBytes = 0;
+    return cfg;
+}
+
+std::vector<GpuConfig>
+GpuConfig::table2()
+{
+    return {config1(), config2(), config3(), config4(), config5()};
+}
+
+} // namespace sim
+} // namespace seqpoint

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Occupancy model implementation.
+ */
+
+#include "sim/occupancy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seqpoint {
+namespace sim {
+
+Occupancy
+computeOccupancy(const KernelDesc &desc, const GpuConfig &cfg)
+{
+    Occupancy occ;
+    double waves = std::ceil(std::max(desc.workItems, 1.0) /
+        static_cast<double>(cfg.waveSize));
+    occ.waves = waves;
+
+    double total_simds = static_cast<double>(cfg.numCus) *
+        static_cast<double>(cfg.simdsPerCu);
+
+    // Waves spread round-robin across CUs.
+    occ.activeCus = std::min<double>(cfg.numCus, waves);
+
+    // Lane utilization: each SIMD needs `latencyHideWaves` resident
+    // waves to stream back-to-back VALU issues.
+    double waves_per_simd = waves / total_simds;
+    double ramp = std::min(1.0, waves_per_simd / latencyHideWaves);
+
+    // Sub-wave launches still occupy a full wave slot.
+    double lane_fill = std::min(1.0,
+        desc.workItems / (waves * static_cast<double>(cfg.waveSize)));
+
+    occ.utilization = std::max(1e-3, ramp * lane_fill);
+    return occ;
+}
+
+} // namespace sim
+} // namespace seqpoint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Kernel timing implementation.
+ */
+
+#include "sim/timing_model.hh"
+
+#include <algorithm>
+
+#include "sim/cache_model.hh"
+#include "sim/compute_model.hh"
+#include "sim/dram_model.hh"
+#include "sim/occupancy.hh"
+
+namespace seqpoint {
+namespace sim {
+
+KernelTiming
+timeKernel(const KernelDesc &desc, const GpuConfig &cfg)
+{
+    KernelTiming kt;
+
+    Occupancy occ = computeOccupancy(desc, cfg);
+    ComputeEstimate ce = estimateCompute(desc, occ, cfg);
+    MemoryBreakdown mb = evalMemoryBreakdown(desc, cfg);
+
+    // Hierarchical service time. Each level serves its share at its
+    // own bandwidth; levels pipeline, so the slowest stage dominates.
+    // When a level is disabled, its share was already folded into the
+    // lower levels by the cache model (capacity 0 -> zero hits).
+    double t_l1 = cfg.hasL1() && cfg.l1Bandwidth() > 0.0
+        ? mb.l1Bytes / cfg.l1Bandwidth() : 0.0;
+    double t_l2 = cfg.hasL2() && cfg.l2Bandwidth() > 0.0
+        ? mb.l2Bytes / cfg.l2Bandwidth() : 0.0;
+
+    // Split DRAM traffic back into read/write shares proportionally.
+    double dram_write_share = desc.totalBytes() > 0.0
+        ? desc.bytesOut / desc.totalBytes() : 0.0;
+    double dram_wr_bytes = mb.dramBytes * dram_write_share;
+    double dram_rd_bytes = mb.dramBytes - dram_wr_bytes;
+
+    DramService svc = serviceDram(desc.klass, dram_rd_bytes, dram_wr_bytes,
+                                  ce.timeSec, cfg);
+
+    // Un-hidden L1-miss latency: reuse the kernel counted on that is
+    // not captured (capacity pressure or a disabled L1) shows up as
+    // issue stalls that lengthen the compute phase.
+    double missing_l1_reuse = std::max(0.0,
+        desc.reuseL1 - mb.l1HitRate);
+    kt.computeSec = ce.timeSec * (1.0 + missing_l1_reuse);
+    kt.memorySec = std::max({t_l1, t_l2, svc.readTimeSec});
+    kt.memoryBound = kt.memorySec > kt.computeSec;
+
+    double body = std::max(kt.computeSec, kt.memorySec);
+    kt.timeSec = cfg.launchOverheadSec + body + svc.writeStallSec;
+
+    PerfCounters &c = kt.counters;
+    c.kernelsLaunched = 1;
+    c.valuInsts = ce.valuInsts;
+    c.saluInsts = ce.saluInsts;
+    c.bytesLoaded = desc.bytesIn;
+    c.bytesStored = desc.bytesOut;
+    c.l1HitBytes = mb.l1Bytes;
+    c.l2HitBytes = mb.l2Bytes;
+    c.dramBytes = mb.dramBytes;
+    c.writeStallSec = svc.writeStallSec;
+    c.busySec = body + svc.writeStallSec;
+    c.launchSec = cfg.launchOverheadSec;
+    return kt;
+}
+
+} // namespace sim
+} // namespace seqpoint

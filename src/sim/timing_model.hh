@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Whole-kernel timing: combines the compute model, analytical cache
+ * model and DRAM model into a roofline-with-overheads estimate plus a
+ * full counter bundle.
+ */
+
+#ifndef SEQPOINT_SIM_TIMING_MODEL_HH
+#define SEQPOINT_SIM_TIMING_MODEL_HH
+
+#include "sim/counters.hh"
+#include "sim/gpu_config.hh"
+#include "sim/kernel.hh"
+
+namespace seqpoint {
+namespace sim {
+
+/** Result of timing a single kernel launch. */
+struct KernelTiming {
+    double timeSec = 0.0;       ///< Wall time incl. launch overhead.
+    double computeSec = 0.0;    ///< Pure compute component.
+    double memorySec = 0.0;     ///< Memory-service component.
+    bool memoryBound = false;   ///< True when memory dominates.
+    PerfCounters counters;      ///< Counters for this launch.
+};
+
+/**
+ * Time a kernel on a device.
+ *
+ * Execution time is launch overhead plus the maximum of the compute
+ * time and the hierarchical memory service time (L1/L2/DRAM at their
+ * respective bandwidths), plus any non-overlappable write stall.
+ *
+ * @param desc Kernel descriptor.
+ * @param cfg Device configuration.
+ */
+KernelTiming timeKernel(const KernelDesc &desc, const GpuConfig &cfg);
+
+} // namespace sim
+} // namespace seqpoint
+
+#endif // SEQPOINT_SIM_TIMING_MODEL_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(Histogram, CountsLandInRightBuckets)
+{
+    Histogram h(0, 99, 10);
+    h.add(5);
+    h.add(15);
+    h.add(95);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(10, 19, 2);
+    h.add(-100);
+    h.add(500);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+}
+
+TEST(Histogram, BucketBoundsTileTheRange)
+{
+    Histogram h(0, 99, 4);
+    EXPECT_EQ(h.bucketLo(0), 0);
+    EXPECT_EQ(h.bucketHi(3), 99);
+    for (size_t i = 0; i + 1 < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucketHi(i) + 1, h.bucketLo(i + 1));
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0, 9, 1);
+    h.add(3, 7);
+    EXPECT_EQ(h.bucketCount(0), 7u);
+    EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0, 9, 2);
+    h.add(1, 10);
+    h.add(8, 5);
+    std::string out = h.render(20);
+    EXPECT_NE(out.find("####"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Histogram, SingleValueRange)
+{
+    Histogram h(5, 5, 3);
+    h.add(5);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramDeath, RejectsBadConstruction)
+{
+    EXPECT_DEATH(Histogram(10, 5, 2), "hi < lo");
+    EXPECT_DEATH(Histogram(0, 10, 0), "zero");
+}
+
+} // anonymous namespace
+} // namespace seqpoint

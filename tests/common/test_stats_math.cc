@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the scalar statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats_math.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(Mean, BasicAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(Stdev, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(stdev({2.0, 2.0, 2.0}), 0.0);
+    EXPECT_NEAR(stdev({1.0, 3.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stdev({4.0}), 0.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, ClampsNonPositiveWithWarning)
+{
+    double g = geomean({0.0, 1.0});
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, 1.0);
+}
+
+TEST(WeightedMean, RespectsWeights)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 100.0}, {1.0, 0.0}), 1.0);
+    EXPECT_DOUBLE_EQ(weightedMean({}, {}), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(RelError, SignedCases)
+{
+    EXPECT_DOUBLE_EQ(relError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relError(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(relError(-110.0, -100.0), 0.1);
+}
+
+TEST(FitLine, ExactLine)
+{
+    LinearFit fit = fitLine({1.0, 2.0, 3.0}, {3.0, 5.0, 7.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasHighR2)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+    }
+    LinearFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.01);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLine, ConstantXGivesZeroSlope)
+{
+    LinearFit fit = fitLine({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MinMaxSum, Basics)
+{
+    std::vector<double> xs{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 7.0);
+    EXPECT_DOUBLE_EQ(sum(xs), 9.0);
+}
+
+TEST(StatsMathDeath, RelErrorRejectsZeroActual)
+{
+    EXPECT_DEATH(relError(1.0, 0.0), "zero");
+}
+
+TEST(StatsMathDeath, WeightedMeanRejectsMismatch)
+{
+    EXPECT_DEATH(weightedMean({1.0}, {1.0, 2.0}), "mismatch");
+}
+
+} // anonymous namespace
+} // namespace seqpoint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(Csprintf, FormatsBasicTypes)
+{
+    EXPECT_EQ(csprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(csprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(csprintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(Csprintf, EmptyAndNoArgs)
+{
+    EXPECT_EQ(csprintf("%s", ""), "");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(Csprintf, LongOutput)
+{
+    std::string big(5000, 'q');
+    EXPECT_EQ(csprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Join, JoinsWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Split, SplitsOnSeparator)
+{
+    auto fields = split("a,b,c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    auto fields = split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Cat, StreamsMixedTypes)
+{
+    EXPECT_EQ(cat("n=", 5, " f=", 1.5), "n=5 f=1.5");
+}
+
+TEST(CompactDouble, TrimsTrailingZeros)
+{
+    EXPECT_EQ(compactDouble(1.5), "1.5");
+    EXPECT_EQ(compactDouble(2.0), "2");
+    EXPECT_EQ(compactDouble(0.125, 3), "0.125");
+    EXPECT_EQ(compactDouble(0.1239, 3), "0.124");
+}
+
+} // anonymous namespace
+} // namespace seqpoint

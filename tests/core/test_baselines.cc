@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the baseline selectors (Frequent, Median, Worst, Prior).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/baselines.hh"
+
+namespace seqpoint {
+namespace core {
+namespace {
+
+SlStats
+skewedStats()
+{
+    // Heavy mass at SL 10, lighter tail; runtimes linear in SL.
+    return SlStats::fromEntries({
+        {10, 50, 1.0},
+        {20, 20, 2.0},
+        {40, 15, 4.0},
+        {80, 10, 8.0},
+        {160, 5, 16.0},
+    });
+}
+
+std::vector<IterationSample>
+epochInOrder(const SlStats &stats, uint64_t seed)
+{
+    std::vector<IterationSample> epoch;
+    for (const SlEntry &e : stats.entries())
+        for (uint64_t i = 0; i < e.freq; ++i)
+            epoch.push_back(IterationSample{e.seqLen, e.statValue});
+    Rng rng(seed);
+    rng.shuffle(epoch);
+    return epoch;
+}
+
+TEST(SelectorName, AllNamed)
+{
+    EXPECT_STREQ(selectorName(SelectorKind::Worst), "worst");
+    EXPECT_STREQ(selectorName(SelectorKind::Frequent), "frequent");
+    EXPECT_STREQ(selectorName(SelectorKind::Median), "median");
+    EXPECT_STREQ(selectorName(SelectorKind::Prior), "prior");
+    EXPECT_STREQ(selectorName(SelectorKind::SeqPoint), "seqpoint");
+}
+
+TEST(Frequent, PicksModalSl)
+{
+    SeqPointSet set = selectFrequent(skewedStats());
+    ASSERT_EQ(set.points.size(), 1u);
+    EXPECT_EQ(set.points[0].seqLen, 10);
+    EXPECT_DOUBLE_EQ(set.points[0].weight, 100.0);
+}
+
+TEST(Median, PicksIterationMedian)
+{
+    SeqPointSet set = selectMedian(skewedStats());
+    ASSERT_EQ(set.points.size(), 1u);
+    // 100 iterations; the 50th falls in the SL-10 block.
+    EXPECT_EQ(set.points[0].seqLen, 10);
+}
+
+TEST(Worst, MaximisesSelfError)
+{
+    SlStats s = skewedStats();
+    SeqPointSet worst = selectWorst(s);
+    ASSERT_EQ(worst.points.size(), 1u);
+    // Exhaustive check: no single SL projects with a larger error.
+    double total_iters = static_cast<double>(s.totalIterations());
+    for (const SlEntry &e : s.entries()) {
+        double err = std::fabs(e.statValue * total_iters -
+                               s.actualTotal()) / s.actualTotal();
+        EXPECT_LE(err, worst.selfError + 1e-12);
+    }
+    // For this skew the worst proxy is the largest SL.
+    EXPECT_EQ(worst.points[0].seqLen, 160);
+}
+
+TEST(Worst, SelfErrorAtLeastAnySingle)
+{
+    SlStats s = skewedStats();
+    EXPECT_GE(selectWorst(s).selfError, selectFrequent(s).selfError);
+    EXPECT_GE(selectWorst(s).selfError, selectMedian(s).selfError);
+}
+
+TEST(Prior, SamplesContiguousWindow)
+{
+    SlStats s = skewedStats();
+    auto epoch = epochInOrder(s, 3);
+    SeqPointSet set = selectPrior(epoch, 10, 50);
+
+    // Weight mass equals the epoch.
+    EXPECT_NEAR(set.totalWeight(), 100.0, 1e-9);
+    // Projection equals mean(sampled) * N.
+    double sampled = 0.0;
+    for (unsigned i = 10; i < 60; ++i)
+        sampled += epoch[i].statValue;
+    EXPECT_NEAR(set.projectTotal(), sampled / 50.0 * 100.0, 1e-9);
+}
+
+TEST(Prior, MergesDuplicateSls)
+{
+    std::vector<IterationSample> epoch(80, IterationSample{7, 1.5});
+    SeqPointSet set = selectPrior(epoch, 10, 50);
+    ASSERT_EQ(set.points.size(), 1u);
+    EXPECT_EQ(set.points[0].seqLen, 7);
+    EXPECT_NEAR(set.points[0].weight, 80.0, 1e-9);
+    EXPECT_NEAR(set.selfError, 0.0, 1e-12);
+}
+
+TEST(Prior, SortedEpochWindowsDifferByWarmup)
+{
+    // On a sorted epoch, an early window sees short iterations and an
+    // mid-epoch window longer ones -- the DS2 artifact.
+    SlStats s = skewedStats();
+    std::vector<IterationSample> epoch;
+    for (const SlEntry &e : s.entries())
+        for (uint64_t i = 0; i < e.freq; ++i)
+            epoch.push_back(IterationSample{e.seqLen, e.statValue});
+
+    SeqPointSet early = selectPrior(epoch, 0, 50);
+    SeqPointSet mid = selectPrior(epoch, 40, 50);
+    EXPECT_LT(early.projectTotal(), mid.projectTotal());
+}
+
+TEST(PriorDeath, RejectsShortEpoch)
+{
+    std::vector<IterationSample> epoch(30, IterationSample{5, 1.0});
+    EXPECT_DEATH(selectPrior(epoch, 10, 50), "too short");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace seqpoint

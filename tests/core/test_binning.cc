@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for sequence-length binning, including parameterized
+ * invariants over k and both binning modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/binning.hh"
+
+namespace seqpoint {
+namespace core {
+namespace {
+
+SlStats
+syntheticStats(uint64_t seed, size_t unique)
+{
+    Rng rng(seed);
+    std::vector<SlEntry> entries;
+    int64_t sl = 10;
+    for (size_t i = 0; i < unique; ++i) {
+        sl += rng.uniformInt(1, 6);
+        entries.push_back(SlEntry{
+            sl, static_cast<uint64_t>(rng.uniformInt(1, 20)),
+            0.01 * static_cast<double>(sl) + 0.2});
+    }
+    return SlStats::fromEntries(std::move(entries));
+}
+
+TEST(Binning, SimpleEqualWidth)
+{
+    SlStats s = SlStats::fromEntries({
+        {10, 1, 1.0}, {20, 1, 2.0}, {90, 1, 9.0}, {100, 1, 10.0}});
+    auto bins = binEntries(s, 2, BinningMode::EqualWidth);
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_EQ(bins[0].first, 0u);
+    EXPECT_EQ(bins[0].last, 1u);
+    EXPECT_EQ(bins[1].first, 2u);
+    EXPECT_EQ(bins[1].last, 3u);
+}
+
+TEST(Binning, EmptyRangesAreDropped)
+{
+    // SLs cluster at both ends; middle buckets are empty.
+    SlStats s = SlStats::fromEntries({
+        {1, 1, 1.0}, {2, 1, 1.0}, {99, 1, 9.0}, {100, 1, 10.0}});
+    auto bins = binEntries(s, 10, BinningMode::EqualWidth);
+    EXPECT_LT(bins.size(), 10u);
+    uint64_t covered = 0;
+    for (const auto &b : bins)
+        covered += b.count();
+    EXPECT_EQ(covered, s.uniqueCount());
+}
+
+TEST(Binning, KOneIsEverything)
+{
+    SlStats s = syntheticStats(1, 50);
+    auto bins = binEntries(s, 1, BinningMode::EqualWidth);
+    ASSERT_EQ(bins.size(), 1u);
+    EXPECT_EQ(bins[0].count(), 50u);
+}
+
+TEST(Binning, EqualFrequencyBalancesIterations)
+{
+    SlStats s = syntheticStats(2, 200);
+    auto bins = binEntries(s, 4, BinningMode::EqualFrequency);
+    ASSERT_GE(bins.size(), 3u);
+    double total = static_cast<double>(s.totalIterations());
+    for (const auto &b : bins) {
+        double frac = static_cast<double>(binIterations(s, b)) / total;
+        EXPECT_NEAR(frac, 1.0 / bins.size(), 0.15);
+    }
+}
+
+TEST(Binning, MeanStatsWithinBinBounds)
+{
+    SlStats s = syntheticStats(3, 100);
+    for (auto mode : {BinningMode::EqualWidth,
+                      BinningMode::EqualFrequency}) {
+        for (const Bin &b : binEntries(s, 7, mode)) {
+            double lo = s.entries()[b.first].statValue;
+            double hi = s.entries()[b.last].statValue;
+            double m = binMeanStat(s, b);
+            double mw = binMeanStatWeighted(s, b);
+            EXPECT_GE(m, lo - 1e-12);
+            EXPECT_LE(m, hi + 1e-12);
+            EXPECT_GE(mw, lo - 1e-12);
+            EXPECT_LE(mw, hi + 1e-12);
+        }
+    }
+}
+
+/** Parameterized invariants over (k, mode). */
+class BinningInvariants
+    : public testing::TestWithParam<std::tuple<unsigned, BinningMode>>
+{
+};
+
+TEST_P(BinningInvariants, PartitionIsExactAndOrdered)
+{
+    auto [k, mode] = GetParam();
+    for (uint64_t seed : {11u, 22u, 33u}) {
+        SlStats s = syntheticStats(seed, 120);
+        auto bins = binEntries(s, k, mode);
+
+        ASSERT_FALSE(bins.empty());
+        EXPECT_LE(bins.size(), static_cast<size_t>(k));
+
+        // Bins tile the entry index space exactly, in order.
+        size_t expected_first = 0;
+        uint64_t iter_sum = 0;
+        for (const Bin &b : bins) {
+            EXPECT_EQ(b.first, expected_first);
+            EXPECT_GE(b.last, b.first);
+            expected_first = b.last + 1;
+            iter_sum += binIterations(s, b);
+        }
+        EXPECT_EQ(expected_first, s.uniqueCount());
+        EXPECT_EQ(iter_sum, s.totalIterations());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KSweep, BinningInvariants,
+    testing::Combine(testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 60u,
+                                     119u, 120u, 500u),
+                     testing::Values(BinningMode::EqualWidth,
+                                     BinningMode::EqualFrequency)));
+
+TEST(BinningDeath, RejectsZeroK)
+{
+    SlStats s = syntheticStats(1, 10);
+    EXPECT_DEATH(binEntries(s, 0, BinningMode::EqualWidth), "zero");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace seqpoint

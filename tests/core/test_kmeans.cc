@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for weighted k-means and the k-means SeqPoint selector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/kmeans.hh"
+
+namespace seqpoint {
+namespace core {
+namespace {
+
+TEST(Kmeans, SeparatesObviousClusters)
+{
+    std::vector<std::vector<double>> pts{
+        {0.0}, {0.1}, {0.2}, {10.0}, {10.1}, {10.2}};
+    std::vector<double> w(6, 1.0);
+    KmeansOptions opts;
+    opts.k = 2;
+    KmeansResult res = kmeans(pts, w, opts);
+
+    EXPECT_EQ(res.assignment[0], res.assignment[1]);
+    EXPECT_EQ(res.assignment[1], res.assignment[2]);
+    EXPECT_EQ(res.assignment[3], res.assignment[4]);
+    EXPECT_EQ(res.assignment[4], res.assignment[5]);
+    EXPECT_NE(res.assignment[0], res.assignment[3]);
+    EXPECT_LT(res.inertia, 0.2);
+}
+
+TEST(Kmeans, DeterministicPerSeed)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> pts;
+    std::vector<double> w;
+    for (int i = 0; i < 100; ++i) {
+        pts.push_back({rng.uniformDouble(), rng.uniformDouble()});
+        w.push_back(1.0 + rng.uniformDouble());
+    }
+    KmeansOptions opts;
+    opts.k = 5;
+    KmeansResult a = kmeans(pts, w, opts);
+    KmeansResult b = kmeans(pts, w, opts);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(Kmeans, WeightsPullCentroids)
+{
+    // One heavy point and one light point, one cluster: the centroid
+    // sits near the heavy point.
+    std::vector<std::vector<double>> pts{{0.0}, {10.0}};
+    std::vector<double> w{100.0, 1.0};
+    KmeansOptions opts;
+    opts.k = 1;
+    KmeansResult res = kmeans(pts, w, opts);
+    EXPECT_NEAR(res.centroids[0][0], 10.0 / 101.0, 1e-9);
+}
+
+TEST(Kmeans, KEqualsNPerfectFit)
+{
+    std::vector<std::vector<double>> pts{{1.0}, {5.0}, {9.0}};
+    std::vector<double> w{1.0, 1.0, 1.0};
+    KmeansOptions opts;
+    opts.k = 3;
+    KmeansResult res = kmeans(pts, w, opts);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-12);
+}
+
+TEST(Kmeans, MoreClustersNeverWorse)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> pts;
+    std::vector<double> w;
+    for (int i = 0; i < 60; ++i) {
+        pts.push_back({rng.uniformDouble() * 10.0});
+        w.push_back(1.0);
+    }
+    double prev = 1e300;
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+        KmeansOptions opts;
+        opts.k = k;
+        double inertia = kmeans(pts, w, opts).inertia;
+        EXPECT_LE(inertia, prev * 1.05); // k-means++ is near-monotone
+        prev = inertia;
+    }
+}
+
+TEST(KmeansSelector, BehavesLikeSeqPointSet)
+{
+    Rng rng(11);
+    std::vector<SlEntry> entries;
+    int64_t sl = 5;
+    for (int i = 0; i < 80; ++i) {
+        sl += rng.uniformInt(1, 4);
+        entries.push_back(SlEntry{
+            sl, static_cast<uint64_t>(rng.uniformInt(1, 10)),
+            0.1 + 0.01 * static_cast<double>(sl)});
+    }
+    SlStats stats = SlStats::fromEntries(std::move(entries));
+
+    SeqPointSet set = selectByKmeans(stats, 8, 3);
+    EXPECT_LE(set.points.size(), 8u);
+    EXPECT_NEAR(set.totalWeight(),
+                static_cast<double>(stats.totalIterations()), 1e-9);
+    for (const SeqPointRecord &p : set.points)
+        EXPECT_NE(stats.find(p.seqLen), nullptr);
+    // Runtime is such a strong feature that few clusters already give
+    // a decent projection (the paper's section VII-C point).
+    EXPECT_LT(set.selfError, 0.2);
+}
+
+TEST(KmeansSelector, KClampedToUniqueCount)
+{
+    SlStats stats = SlStats::fromEntries({{1, 1, 1.0}, {2, 1, 2.0}});
+    SeqPointSet set = selectByKmeans(stats, 10, 1);
+    EXPECT_LE(set.points.size(), 2u);
+}
+
+TEST(KmeansDeath, RejectsBadInputs)
+{
+    std::vector<std::vector<double>> pts{{1.0}};
+    std::vector<double> w{1.0};
+    KmeansOptions opts;
+    opts.k = 2;
+    EXPECT_DEATH(kmeans(pts, w, opts), "out of range");
+    EXPECT_DEATH(kmeans({}, {}, KmeansOptions{}), "no points");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace seqpoint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the projection helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/projection.hh"
+
+namespace seqpoint {
+namespace core {
+namespace {
+
+SeqPointSet
+twoPointSet()
+{
+    SeqPointSet set;
+    set.points.push_back(SeqPointRecord{10, 30.0, 1.0});
+    set.points.push_back(SeqPointRecord{50, 70.0, 5.0});
+    return set;
+}
+
+TEST(Projection, TrainingTimeIsWeightedSum)
+{
+    SeqPointSet set = twoPointSet();
+    double t = projectTrainingTime(set, [](int64_t sl) {
+        return static_cast<double>(sl) * 0.1;
+    });
+    EXPECT_NEAR(t, 30.0 * 1.0 + 70.0 * 5.0, 1e-12);
+}
+
+TEST(Projection, ThroughputDefinition)
+{
+    SeqPointSet set = twoPointSet();
+    double thr = projectThroughput(set, 64, [](int64_t sl) {
+        return static_cast<double>(sl) * 0.1;
+    });
+    double expected = 100.0 * 64.0 / 380.0;
+    EXPECT_NEAR(thr, expected, 1e-9);
+}
+
+TEST(Projection, UpliftPercent)
+{
+    EXPECT_NEAR(upliftPercent(100.0, 150.0), 50.0, 1e-12);
+    EXPECT_NEAR(upliftPercent(100.0, 100.0), 0.0, 1e-12);
+    EXPECT_NEAR(upliftPercent(200.0, 100.0), -50.0, 1e-12);
+}
+
+TEST(Projection, TimeErrorPercent)
+{
+    EXPECT_NEAR(timeErrorPercent(110.0, 100.0), 10.0, 1e-12);
+    EXPECT_NEAR(timeErrorPercent(90.0, 100.0), 10.0, 1e-12);
+}
+
+TEST(Projection, UpliftErrorPoints)
+{
+    EXPECT_NEAR(upliftErrorPoints(42.0, 40.0), 2.0, 1e-12);
+    EXPECT_NEAR(upliftErrorPoints(38.0, 40.0), 2.0, 1e-12);
+}
+
+TEST(ProjectionDeath, GuardsDivisions)
+{
+    SeqPointSet set = twoPointSet();
+    EXPECT_DEATH(projectThroughput(set, 0, [](int64_t) { return 1.0; }),
+                 "zero batch");
+    EXPECT_DEATH(timeErrorPercent(1.0, 0.0), "zero actual");
+    EXPECT_DEATH(upliftPercent(0.0, 1.0), "non-positive");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace seqpoint

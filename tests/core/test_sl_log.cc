@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for SlStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sl_log.hh"
+
+namespace seqpoint {
+namespace core {
+namespace {
+
+SlStats
+sampleStats()
+{
+    return SlStats::fromIterations({
+        {10, 1.0}, {10, 1.0}, {10, 1.0},
+        {20, 2.0}, {20, 2.0},
+        {40, 4.0},
+    });
+}
+
+TEST(SlStats, AggregatesFrequencies)
+{
+    SlStats s = sampleStats();
+    EXPECT_EQ(s.uniqueCount(), 3u);
+    EXPECT_EQ(s.totalIterations(), 6u);
+    ASSERT_NE(s.find(10), nullptr);
+    EXPECT_EQ(s.find(10)->freq, 3u);
+    EXPECT_EQ(s.find(20)->freq, 2u);
+    EXPECT_EQ(s.find(40)->freq, 1u);
+    EXPECT_EQ(s.find(15), nullptr);
+}
+
+TEST(SlStats, AveragesRepeatedObservations)
+{
+    SlStats s = SlStats::fromIterations({{5, 1.0}, {5, 3.0}});
+    EXPECT_DOUBLE_EQ(s.find(5)->statValue, 2.0);
+}
+
+TEST(SlStats, ActualTotalIsFreqWeighted)
+{
+    SlStats s = sampleStats();
+    EXPECT_DOUBLE_EQ(s.actualTotal(), 3 * 1.0 + 2 * 2.0 + 1 * 4.0);
+}
+
+TEST(SlStats, EntriesSortedAndRange)
+{
+    SlStats s = SlStats::fromIterations({{40, 4.0}, {10, 1.0},
+                                         {20, 2.0}});
+    EXPECT_EQ(s.minSl(), 10);
+    EXPECT_EQ(s.maxSl(), 40);
+    for (size_t i = 1; i < s.entries().size(); ++i)
+        EXPECT_LT(s.entries()[i - 1].seqLen, s.entries()[i].seqLen);
+}
+
+TEST(SlStats, MostFrequentAndMedian)
+{
+    SlStats s = sampleStats();
+    EXPECT_EQ(s.mostFrequentSl(), 10);
+    // Iteration-weighted: 10,10,10,20,20,40 -> median is 10 (3rd of 6).
+    EXPECT_EQ(s.medianSl(), 10);
+
+    SlStats t = SlStats::fromIterations({
+        {10, 1.0}, {20, 2.0}, {20, 2.0}, {30, 3.0}, {30, 3.0}});
+    EXPECT_EQ(t.medianSl(), 20);
+}
+
+TEST(SlStats, FromEntriesRejectsDuplicates)
+{
+    EXPECT_DEATH(SlStats::fromEntries({{5, 1, 1.0}, {5, 2, 2.0}}),
+                 "duplicate");
+}
+
+TEST(SlStats, EmptyStatsPanicsOnQueries)
+{
+    SlStats s = SlStats::fromIterations({});
+    EXPECT_EQ(s.uniqueCount(), 0u);
+    EXPECT_DEATH(s.minSl(), "empty");
+    EXPECT_DEATH(s.medianSl(), "empty");
+}
+
+} // anonymous namespace
+} // namespace core
+} // namespace seqpoint

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized whole-pipeline invariants swept across the Table II
+ * configurations and both evaluated networks: physical monotonicity
+ * of epoch times, throughput/uplift consistency, projection
+ * conservation laws, and determinism of repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace seqpoint {
+namespace harness {
+namespace {
+
+/** One shared experiment per network (epochs are expensive-ish). */
+Experiment &
+expFor(const std::string &net)
+{
+    static Experiment gnmt(makeGnmtWorkload());
+    static Experiment ds2(makeDs2Workload());
+    return net == "GNMT" ? gnmt : ds2;
+}
+
+class ConfigSweep
+    : public testing::TestWithParam<std::tuple<std::string, int>>
+{
+  protected:
+    Experiment &exp() { return expFor(std::get<0>(GetParam())); }
+
+    sim::GpuConfig
+    cfg() const
+    {
+        return sim::GpuConfig::table2()[
+            static_cast<size_t>(std::get<1>(GetParam()))];
+    }
+};
+
+TEST_P(ConfigSweep, DegradedConfigsNeverFasterThanBaseline)
+{
+    auto base = sim::GpuConfig::config1();
+    EXPECT_GE(exp().actualTrainSec(cfg()),
+              exp().actualTrainSec(base) * 0.999);
+}
+
+TEST_P(ConfigSweep, ThroughputMatchesIterationsOverTime)
+{
+    const prof::TrainLog &log = exp().epochLog(cfg());
+    double expected = static_cast<double>(log.numIterations()) *
+        exp().workload().batchSize / log.trainSec;
+    EXPECT_NEAR(exp().actualThroughput(cfg()), expected,
+                1e-9 * expected);
+}
+
+TEST_P(ConfigSweep, EpochIterationCountConfigIndependent)
+{
+    auto base = sim::GpuConfig::config1();
+    EXPECT_EQ(exp().epochLog(cfg()).numIterations(),
+              exp().epochLog(base).numIterations());
+}
+
+TEST_P(ConfigSweep, IterationSlSequenceConfigIndependent)
+{
+    // The data pipeline is independent of the device: the same seed
+    // yields the same SL sequence everywhere.
+    auto base = sim::GpuConfig::config1();
+    const auto &a = exp().epochLog(cfg()).iterations;
+    const auto &b = exp().epochLog(base).iterations;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i += 37)
+        EXPECT_EQ(a[i].seqLen, b[i].seqLen);
+}
+
+TEST_P(ConfigSweep, EpochTimeEqualsSlStatsTotal)
+{
+    // Conservation: the SlStats aggregation preserves the epoch sum.
+    double total = exp().slStats(cfg()).actualTotal();
+    EXPECT_NEAR(total, exp().actualTrainSec(cfg()),
+                1e-6 * total);
+}
+
+TEST_P(ConfigSweep, AllUniqueSelectionProjectsExactly)
+{
+    // Degenerate SeqPoint (every unique SL its own point) reproduces
+    // the epoch total exactly on the same configuration.
+    auto stats = exp().slStats(cfg());
+    core::SeqPointOptions opts;
+    opts.uniqueSlThreshold =
+        static_cast<unsigned>(stats.uniqueCount());
+    auto set = core::selectSeqPoints(stats, opts);
+    EXPECT_TRUE(set.usedAllUnique);
+    EXPECT_NEAR(set.projectTotal(), stats.actualTotal(),
+                1e-9 * stats.actualTotal());
+}
+
+TEST_P(ConfigSweep, RuntimeMonotoneInSlOnEveryConfig)
+{
+    double prev = 0.0;
+    for (int64_t sl = 20; sl <= 200; sl += 30) {
+        double t = exp().iterTime(cfg(), sl);
+        EXPECT_GT(t, prev) << "SL " << sl;
+        prev = t;
+    }
+}
+
+TEST_P(ConfigSweep, SeqPointProjectionWithinTwoPercentEverywhere)
+{
+    auto base = sim::GpuConfig::config1();
+    auto sp = exp().buildSelection(core::SelectorKind::SeqPoint, base);
+    double err = core::timeErrorPercent(
+        exp().projectedTrainSec(sp, cfg()),
+        exp().actualTrainSec(cfg()));
+    EXPECT_LT(err, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetworksByConfigs, ConfigSweep,
+    testing::Combine(testing::Values(std::string("GNMT"),
+                                     std::string("DS2")),
+                     testing::Values(0, 1, 2, 3, 4)),
+    [](const testing::TestParamInfo<ConfigSweep::ParamType> &info) {
+        return std::get<0>(info.param) + "_config" +
+            std::to_string(std::get<1>(info.param) + 1);
+    });
+
+TEST(Determinism, RepeatedExperimentsIdentical)
+{
+    // A fresh experiment with the same seed reproduces the epoch
+    // bit-for-bit.
+    Experiment a(makeDs2Workload(5));
+    Experiment b(makeDs2Workload(5));
+    auto cfg = sim::GpuConfig::config1();
+    const auto &la = a.epochLog(cfg);
+    const auto &lb = b.epochLog(cfg);
+    ASSERT_EQ(la.numIterations(), lb.numIterations());
+    EXPECT_DOUBLE_EQ(la.trainSec, lb.trainSec);
+    EXPECT_DOUBLE_EQ(la.evalSec, lb.evalSec);
+    for (size_t i = 0; i < la.iterations.size(); ++i) {
+        EXPECT_EQ(la.iterations[i].seqLen, lb.iterations[i].seqLen);
+        EXPECT_DOUBLE_EQ(la.iterations[i].timeSec,
+                         lb.iterations[i].timeSec);
+    }
+}
+
+TEST(Determinism, DifferentSeedsDifferentEpochOrder)
+{
+    Experiment a(makeGnmtWorkload(5));
+    Experiment b(makeGnmtWorkload(6));
+    auto cfg = sim::GpuConfig::config1();
+    const auto &la = a.epochLog(cfg).iterations;
+    const auto &lb = b.epochLog(cfg).iterations;
+    bool any_diff = la.size() != lb.size();
+    for (size_t i = 0; !any_diff && i < la.size(); ++i)
+        any_diff = la[i].seqLen != lb[i].seqLen;
+    EXPECT_TRUE(any_diff);
+}
+
+} // anonymous namespace
+} // namespace harness
+} // namespace seqpoint

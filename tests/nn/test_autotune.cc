@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the GEMM autotuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/autotune.hh"
+#include "nn/kernel_gen.hh"
+#include "sim/gpu.hh"
+
+namespace seqpoint {
+namespace nn {
+namespace {
+
+TEST(GemmVariant, SuffixFormat)
+{
+    GemmVariant v{128, 64, 16};
+    EXPECT_EQ(v.suffix(), "MT128x64_K16");
+}
+
+TEST(VariantMenu, NonEmptyAndOrdered)
+{
+    const auto &menu = gemmVariantMenu();
+    ASSERT_GE(menu.size(), 4u);
+    for (size_t i = 1; i < menu.size(); ++i) {
+        EXPECT_LE(menu[i].tileM * menu[i].tileN,
+                  menu[i - 1].tileM * menu[i - 1].tileN);
+    }
+}
+
+TEST(Autotuner, HeuristicCachesPerShape)
+{
+    Autotuner tuner(Autotuner::Mode::Heuristic);
+    const GemmVariant &a = tuner.select(1024, 1024, 256);
+    const GemmVariant &b = tuner.select(1024, 1024, 256);
+    EXPECT_EQ(&a, &b); // same cached object
+    EXPECT_EQ(tuner.cacheSize(), 1u);
+    tuner.select(64, 64, 64);
+    EXPECT_EQ(tuner.cacheSize(), 2u);
+}
+
+TEST(Autotuner, HeuristicHasZeroTuningCost)
+{
+    Autotuner tuner(Autotuner::Mode::Heuristic);
+    tuner.select(512, 512, 512);
+    EXPECT_DOUBLE_EQ(tuner.tuningCostSec(), 0.0);
+}
+
+TEST(Autotuner, HeuristicPrefersBigTilesForBigGemm)
+{
+    Autotuner tuner(Autotuner::Mode::Heuristic);
+    const GemmVariant &v = tuner.select(4096, 4096, 1024);
+    EXPECT_GE(v.tileM * v.tileN, 64u * 64u);
+}
+
+TEST(Autotuner, HeuristicAvoidsWasteOnSkinnyGemm)
+{
+    Autotuner tuner(Autotuner::Mode::Heuristic);
+    const GemmVariant &v = tuner.select(4096, 64, 1024);
+    // An N-64 GEMM should not pad the N dimension beyond 64.
+    EXPECT_LE(v.tileN, 64u);
+}
+
+TEST(Autotuner, MeasuredAccruesTuningCost)
+{
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    Autotuner tuner(Autotuner::Mode::Measured, &gpu);
+    tuner.select(1024, 1024, 512);
+    EXPECT_GT(tuner.tuningCostSec(), 0.0);
+    double cost_after_one = tuner.tuningCostSec();
+    tuner.select(1024, 1024, 512); // cached: no extra cost
+    EXPECT_DOUBLE_EQ(tuner.tuningCostSec(), cost_after_one);
+}
+
+TEST(Autotuner, MeasuredPicksFastestCandidate)
+{
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    Autotuner tuner(Autotuner::Mode::Measured, &gpu);
+    const GemmVariant &chosen = tuner.select(2048, 2048, 512);
+
+    double chosen_time = gpu.execute(
+        gemmKernelForVariant("probe", 2048, 2048, 512, chosen)).timeSec;
+    for (const GemmVariant &v : gemmVariantMenu()) {
+        double t = gpu.execute(
+            gemmKernelForVariant("probe", 2048, 2048, 512, v)).timeSec;
+        EXPECT_LE(chosen_time, t + 1e-15) << v.suffix();
+    }
+}
+
+TEST(Autotuner, ResetClearsCacheAndCost)
+{
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    Autotuner tuner(Autotuner::Mode::Measured, &gpu);
+    tuner.select(256, 256, 256);
+    tuner.reset();
+    EXPECT_EQ(tuner.cacheSize(), 0u);
+    EXPECT_DOUBLE_EQ(tuner.tuningCostSec(), 0.0);
+}
+
+TEST(AutotunerDeath, MeasuredRequiresDevice)
+{
+    EXPECT_DEATH(Autotuner(Autotuner::Mode::Measured, nullptr),
+                 "device");
+}
+
+TEST(AutotunerDeath, RejectsBadDims)
+{
+    Autotuner tuner(Autotuner::Mode::Heuristic);
+    EXPECT_DEATH(tuner.select(0, 10, 10), "non-positive");
+}
+
+} // anonymous namespace
+} // namespace nn
+} // namespace seqpoint

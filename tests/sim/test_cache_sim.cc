@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sim/cache_sim.hh"
+
+namespace seqpoint {
+namespace sim {
+namespace {
+
+TEST(CacheSim, ColdMissThenHit)
+{
+    CacheSim c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0, false));
+    EXPECT_TRUE(c.access(0, false));
+    EXPECT_TRUE(c.access(63, false)); // same line
+    EXPECT_FALSE(c.access(64, false)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheSim, GeometryDerivedCorrectly)
+{
+    CacheSim c(kib(16), 4, 64);
+    // 16 KiB / (64 B * 4 ways) = 64 sets.
+    EXPECT_EQ(c.numSets(), 64u);
+    EXPECT_EQ(c.sizeBytes(), kib(16));
+}
+
+TEST(CacheSim, LruEvictsOldest)
+{
+    // Direct-mapped-per-set behaviour check with 2 ways, 1 set.
+    CacheSim c(128, 2, 64); // 1 set, 2 ways
+    c.access(0, false);      // line A
+    c.access(64, false);     // line B
+    c.access(0, false);      // touch A (B is now LRU)
+    c.access(128, false);    // line C evicts B
+    EXPECT_TRUE(c.access(0, false));    // A still present
+    EXPECT_FALSE(c.access(64, false));  // B was evicted
+}
+
+TEST(CacheSim, WritebackOnlyForDirtyLines)
+{
+    CacheSim c(128, 1, 64); // 2 sets, direct mapped
+    c.access(0, true);       // dirty line in set 0
+    c.access(128, false);    // evicts it -> writeback
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(64, false);     // clean line in set 1
+    c.access(192, false);    // evicts it -> no writeback
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheSim, FullWorkingSetFitsNoCapacityMisses)
+{
+    CacheSim c(kib(4), 4, 64);
+    // Touch 4 KiB twice: second pass must be all hits.
+    for (uint64_t a = 0; a < kib(4); a += 64)
+        c.access(a, false);
+    uint64_t cold_misses = c.stats().misses;
+    for (uint64_t a = 0; a < kib(4); a += 64)
+        EXPECT_TRUE(c.access(a, false));
+    EXPECT_EQ(c.stats().misses, cold_misses);
+}
+
+TEST(CacheSim, OverCapacityStreamsMiss)
+{
+    CacheSim c(kib(1), 1, 64);
+    // Stream 64 KiB twice with LRU: every access misses both times.
+    for (int pass = 0; pass < 2; ++pass)
+        for (uint64_t a = 0; a < kib(64); a += 64)
+            c.access(a, false);
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(CacheSim, ResetClearsEverything)
+{
+    CacheSim c(1024, 2, 64);
+    c.access(0, true);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.access(0, false)); // cold again
+}
+
+TEST(CacheSim, HitRateComputation)
+{
+    CacheStats s;
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.0);
+    s.accesses = 10;
+    s.hits = 7;
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.7);
+}
+
+TEST(CacheSimDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(CacheSim(1000, 2, 64), "divisible");
+    EXPECT_DEATH(CacheSim(1024, 0, 64), "associativity");
+    EXPECT_DEATH(CacheSim(1024, 2, 48), "power of two");
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace seqpoint
