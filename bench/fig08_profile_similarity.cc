@@ -23,22 +23,26 @@ main()
     auto cfg1 = sim::GpuConfig::config1();
 
     const std::vector<int64_t> sls{87, 89, 192, 197};
+    gnmt.warmIterProfiles(cfg1, sls);
 
     Table table({"kernel class", "SL 87", "SL 89", "SL 192", "SL 197"});
-    std::vector<std::array<double, sim::numKernelClasses>> shares;
+    // Copy the profiles: iterProfile()'s reference is only stable
+    // across calls while memoization is enabled.
+    std::vector<prof::IterationProfile> profiles;
     for (int64_t sl : sls)
-        shares.push_back(gnmt.iterProfile(cfg1, sl).classShares());
+        profiles.push_back(gnmt.iterProfile(cfg1, sl));
+    FlatMatrix shares = prof::classShareMatrix(profiles);
 
     for (unsigned c = 0; c < sim::numKernelClasses; ++c) {
         bool relevant = false;
-        for (const auto &s : shares)
-            relevant = relevant || s[c] >= 0.001;
+        for (size_t r = 0; r < shares.rows(); ++r)
+            relevant = relevant || shares(r, c) >= 0.001;
         if (!relevant)
             continue;
         std::vector<std::string> row{
             sim::kernelClassName(static_cast<sim::KernelClass>(c))};
-        for (const auto &s : shares)
-            row.push_back(csprintf("%.1f%%", 100.0 * s[c]));
+        for (size_t r = 0; r < shares.rows(); ++r)
+            row.push_back(csprintf("%.1f%%", 100.0 * shares(r, c)));
         table.addRow(std::move(row));
     }
     std::printf("%s\n", table.render(
@@ -46,10 +50,7 @@ main()
 
     // Pairwise profile distances: close pairs << far pairs.
     auto dist = [&](size_t i, size_t j) {
-        double d = 0.0;
-        for (unsigned c = 0; c < sim::numKernelClasses; ++c)
-            d += std::fabs(shares[i][c] - shares[j][c]);
-        return d;
+        return prof::classShareDistance(shares, i, j);
     };
     std::printf("L1 profile distance: (87,89)=%.4f (192,197)=%.4f "
                 "(87,192)=%.4f (89,197)=%.4f\n",

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/strutil.hh"
 #include "models/ds2.hh"
 #include "models/gnmt.hh"
 #include "nn/autotune.hh"
@@ -22,7 +23,8 @@ namespace {
 void
 BM_TimeSingleKernel(benchmark::State &state)
 {
-    sim::Gpu gpu(sim::GpuConfig::config1());
+    sim::Gpu gpu(sim::GpuConfig::config1(),
+                 /*enable_timing_cache=*/false);
     nn::Autotuner tuner(nn::Autotuner::Mode::Heuristic);
     sim::KernelDesc k = nn::makeGemm("bm", 2048, 2048, 1024, tuner);
     for (auto _ : state) {
@@ -31,6 +33,21 @@ BM_TimeSingleKernel(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TimeSingleKernel);
+
+void
+BM_TimeSingleKernelCached(benchmark::State &state)
+{
+    // Same kernel through the kernel-timing cache: after the first
+    // launch every execute() is a signature lookup + replay.
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    nn::Autotuner tuner(nn::Autotuner::Mode::Heuristic);
+    sim::KernelDesc k = nn::makeGemm("bm", 2048, 2048, 1024, tuner);
+    for (auto _ : state) {
+        auto rec = gpu.execute(k);
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_TimeSingleKernelCached);
 
 void
 BM_LowerGnmtIteration(benchmark::State &state)
@@ -49,7 +66,8 @@ BENCHMARK(BM_LowerGnmtIteration)->Arg(20)->Arg(100)->Arg(200);
 void
 BM_SimulateDs2Iteration(benchmark::State &state)
 {
-    sim::Gpu gpu(sim::GpuConfig::config1());
+    sim::Gpu gpu(sim::GpuConfig::config1(),
+                 /*enable_timing_cache=*/false);
     nn::Model model = models::buildDs2();
     nn::Autotuner tuner(nn::Autotuner::Mode::Heuristic);
     int64_t sl = state.range(0);
@@ -60,6 +78,23 @@ BM_SimulateDs2Iteration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulateDs2Iteration)->Arg(100)->Arg(400);
+
+void
+BM_SimulateDs2IterationCached(benchmark::State &state)
+{
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    nn::Model model = models::buildDs2();
+    nn::Autotuner tuner(nn::Autotuner::Mode::Heuristic);
+    int64_t sl = state.range(0);
+    auto ks = model.lowerIteration(64, sl, tuner);
+    for (auto _ : state) {
+        auto res = gpu.executeAll(ks);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetLabel(csprintf("hit rate %.1f%%",
+        100.0 * gpu.timingCacheStats().hitRate()));
+}
+BENCHMARK(BM_SimulateDs2IterationCached)->Arg(100)->Arg(400);
 
 void
 BM_CacheSimAccesses(benchmark::State &state)

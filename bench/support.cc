@@ -129,6 +129,14 @@ printSensitivityFigure(harness::Experiment &exp,
         headers.push_back(cfgs[i].name + "->#1 uplift");
     Table table(std::move(headers));
 
+    // Warm the whole SL sweep per configuration on the thread pool
+    // before the serial table assembly below.
+    std::vector<int64_t> sweep;
+    for (int64_t sl = sl_lo; sl <= sl_hi; sl += step)
+        sweep.push_back(sl);
+    for (const auto &cfg : cfgs)
+        exp.warmIterProfiles(cfg, sweep);
+
     for (int64_t sl = sl_lo; sl <= sl_hi; sl += step) {
         std::vector<std::string> row{csprintf("%lld",
             static_cast<long long>(sl))};

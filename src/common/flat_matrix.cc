@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FlatMatrix implementation.
+ */
+
+#include "common/flat_matrix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+
+FlatMatrix::FlatMatrix(std::size_t rows, std::size_t cols, double init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init)
+{
+}
+
+FlatMatrix
+FlatMatrix::fromNested(const std::vector<std::vector<double>> &nested)
+{
+    FlatMatrix m;
+    if (nested.empty())
+        return m;
+
+    m.cols_ = nested[0].size();
+    m.rows_ = nested.size();
+    m.data_.reserve(m.rows_ * m.cols_);
+    for (const std::vector<double> &row : nested) {
+        fatal_if(row.size() != m.cols_,
+                 "FlatMatrix: ragged nested input (%zu vs %zu cols)",
+                 row.size(), m.cols_);
+        m.data_.insert(m.data_.end(), row.begin(), row.end());
+    }
+    return m;
+}
+
+std::vector<std::vector<double>>
+FlatMatrix::toNested() const
+{
+    std::vector<std::vector<double>> nested;
+    nested.reserve(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        nested.emplace_back(row(r), row(r) + cols_);
+    return nested;
+}
+
+void
+FlatMatrix::fill(double v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+FlatMatrix::appendRow(const double *src, std::size_t src_len)
+{
+    if (rows_ == 0)
+        cols_ = src_len;
+    fatal_if(src_len != cols_,
+             "FlatMatrix: appending a %zu-wide row to a %zu-wide matrix",
+             src_len, cols_);
+    data_.insert(data_.end(), src, src + src_len);
+    ++rows_;
+}
+
+double
+sqDistance(const double *a, const double *b, std::size_t n)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
+double
+dotProduct(const double *a, const double *b, std::size_t n)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        d += a[i] * b[i];
+    return d;
+}
+
+double
+sqNorm(const double *a, std::size_t n)
+{
+    return dotProduct(a, a, n);
+}
+
+} // namespace seqpoint

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * FlatMatrix: a dense row-major matrix of doubles in one contiguous
+ * allocation. Replaces `vector<vector<double>>` in the hot numeric
+ * paths (k-means, profile vectors): no per-row heap indirection, rows
+ * are cache-line contiguous, and row scans vectorise.
+ */
+
+#ifndef SEQPOINT_COMMON_FLAT_MATRIX_HH
+#define SEQPOINT_COMMON_FLAT_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace seqpoint {
+
+/** Dense row-major matrix over one contiguous buffer. */
+class FlatMatrix
+{
+  public:
+    /** Construct an empty 0 x 0 matrix. */
+    FlatMatrix() = default;
+
+    /**
+     * Construct a rows x cols matrix.
+     *
+     * @param rows Row count.
+     * @param cols Column count.
+     * @param init Initial value for every element.
+     */
+    FlatMatrix(std::size_t rows, std::size_t cols, double init = 0.0);
+
+    /**
+     * Build from a nested vector-of-rows layout.
+     *
+     * @param nested Rows; all must have the same length.
+     */
+    static FlatMatrix fromNested(
+        const std::vector<std::vector<double>> &nested);
+
+    /** @return The nested vector-of-rows equivalent (for interop). */
+    std::vector<std::vector<double>> toNested() const;
+
+    /** @return Row count. */
+    std::size_t rows() const { return rows_; }
+
+    /** @return Column count. */
+    std::size_t cols() const { return cols_; }
+
+    /** @return True when the matrix has no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** @return Pointer to the start of row r (contiguous cols()). */
+    double *row(std::size_t r) { return data_.data() + r * cols_; }
+
+    /** @return Const pointer to the start of row r. */
+    const double *row(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** @return Element (r, c). */
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** @return Element (r, c). */
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** @return The whole buffer, row-major. */
+    double *data() { return data_.data(); }
+
+    /** @return The whole buffer, row-major. */
+    const double *data() const { return data_.data(); }
+
+    /** Set every element to v. */
+    void fill(double v);
+
+    /**
+     * Append one row (the matrix must be empty or have matching
+     * column count; an empty matrix adopts the row's length).
+     *
+     * @param src Row values, src_len of them.
+     * @param src_len Row length.
+     */
+    void appendRow(const double *src, std::size_t src_len);
+
+    /** Append one row from a vector. */
+    void appendRow(const std::vector<double> &src)
+    {
+        appendRow(src.data(), src.size());
+    }
+
+    /** Copy row r of another matrix with the same column count. */
+    void appendRow(const FlatMatrix &other, std::size_t r)
+    {
+        appendRow(other.row(r), other.cols());
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Squared Euclidean distance between two length-n arrays.
+ *
+ * @param a First vector.
+ * @param b Second vector.
+ * @param n Length.
+ */
+double sqDistance(const double *a, const double *b, std::size_t n);
+
+/** Dot product of two length-n arrays. */
+double dotProduct(const double *a, const double *b, std::size_t n);
+
+/** Squared L2 norm of a length-n array. */
+double sqNorm(const double *a, std::size_t n);
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_FLAT_MATRIX_HH

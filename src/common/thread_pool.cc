@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ */
+
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace seqpoint {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            cvTask.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --active;
+            if (queue.empty() && active == 0)
+                cvIdle.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(fn));
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvIdle.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        fn(0);
+        return;
+    }
+
+    // Each participant pulls the next unclaimed index; the caller
+    // joins in so a single-threaded pool still makes progress while
+    // workers are busy elsewhere.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto drain = [next, count, &fn] {
+        for (;;) {
+            std::size_t i = next->fetch_add(1);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+
+    std::size_t jobs = std::min<std::size_t>(workers.size(), count);
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    for (std::size_t j = 0; j < jobs; ++j) {
+        run([&] {
+            drain();
+            std::lock_guard<std::mutex> lock(done_mu);
+            ++done;
+            done_cv.notify_one();
+        });
+    }
+
+    drain();
+
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == jobs; });
+}
+
+} // namespace seqpoint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a central task queue (no work
+ * stealing) used to parallelise the per-sequence-length profiling
+ * sweep. Fan-out is index-based and deterministic: parallelFor(n, fn)
+ * invokes fn(0..n-1) exactly once each, so any per-task randomness can
+ * be derived from the index (e.g. Rng::fork(index)) and results are
+ * bit-identical to a serial loop regardless of scheduling.
+ */
+
+#ifndef SEQPOINT_COMMON_THREAD_POOL_HH
+#define SEQPOINT_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqpoint {
+
+/** Fixed-size worker pool over one shared FIFO queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Construct a pool.
+     *
+     * @param num_threads Worker count; 0 picks the hardware
+     *                    concurrency (at least 1).
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Enqueue one task for asynchronous execution.
+     *
+     * @param fn Task body.
+     */
+    void run(std::function<void()> fn);
+
+    /** Block until every task enqueued so far has finished. */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(count-1), each exactly once, across the workers
+     * and the calling thread; returns when all are done. Tasks must
+     * derive any randomness from their index to stay deterministic.
+     *
+     * @param count Index range size.
+     * @param fn Task body, given the task index.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    mutable std::mutex mu;
+    std::condition_variable cvTask;  ///< Signals workers: task or stop.
+    std::condition_variable cvIdle;  ///< Signals wait(): all drained.
+    std::size_t active = 0;          ///< Tasks currently executing.
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_THREAD_POOL_HH

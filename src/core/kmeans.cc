@@ -1,6 +1,6 @@
 /**
  * @file
- * Weighted k-means implementation.
+ * Weighted k-means implementation over flat row-major storage.
  */
 
 #include "core/kmeans.hh"
@@ -18,101 +18,162 @@ namespace core {
 
 namespace {
 
-double
-sqDist(const std::vector<double> &a, const std::vector<double> &b)
+/**
+ * Assign every point to its nearest centroid using the expansion
+ * `||p-c||^2 = ||p||^2 - 2 p.c + ||c||^2`: the `||p||^2` term is
+ * constant per point, so centroids are ranked by `||c||^2 - 2 p.c`
+ * with the centroid norms precomputed by the caller.
+ *
+ * @return True when any assignment changed.
+ */
+bool
+assignNearest(const FlatMatrix &points, const FlatMatrix &centroids,
+              const std::vector<double> &centroid_norms,
+              std::vector<unsigned> &assignment)
 {
-    double d = 0.0;
-    for (size_t i = 0; i < a.size(); ++i)
-        d += (a[i] - b[i]) * (a[i] - b[i]);
-    return d;
+    const std::size_t n = points.rows();
+    const std::size_t k = centroids.rows();
+    const std::size_t dim = points.cols();
+
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *p = points.row(i);
+        unsigned best_c = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+            double score = centroid_norms[c] -
+                2.0 * dotProduct(p, centroids.row(c), dim);
+            if (score < best_score) {
+                best_score = score;
+                best_c = static_cast<unsigned>(c);
+            }
+        }
+        if (assignment[i] != best_c) {
+            assignment[i] = best_c;
+            changed = true;
+        }
+    }
+    return changed;
 }
 
 } // anonymous namespace
+
+KmeansFlatResult
+kmeansFlat(const FlatMatrix &points, const std::vector<double> &weights,
+           const KmeansOptions &opts)
+{
+    fatal_if(points.rows() == 0, "kmeans: no points");
+    fatal_if(points.rows() != weights.size(),
+             "kmeans: %zu points but %zu weights", points.rows(),
+             weights.size());
+    fatal_if(opts.k == 0 || opts.k > points.rows(),
+             "kmeans: k=%u out of range for %zu points", opts.k,
+             points.rows());
+
+    const std::size_t n = points.rows();
+    const std::size_t dim = points.cols();
+
+    Rng rng(opts.seed, 0x5eed);
+
+    // k-means++ initialisation. The distance-to-nearest-seed vector is
+    // maintained incrementally: adding a seed can only lower it, so
+    // one sqDistance per (point, new seed) pair suffices.
+    FlatMatrix centroids(opts.k, dim);
+    std::size_t first = rng.weightedIndex(weights);
+    std::copy(points.row(first), points.row(first) + dim,
+              centroids.row(0));
+
+    std::vector<double> best_d2(
+        n, std::numeric_limits<double>::infinity());
+    std::vector<double> d2(n);
+    for (unsigned next = 1; next < opts.k; ++next) {
+        const double *latest = centroids.row(next - 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            best_d2[i] = std::min(
+                best_d2[i], sqDistance(points.row(i), latest, dim));
+            d2[i] = best_d2[i] * std::max(weights[i], 1e-12);
+        }
+        std::size_t pick = rng.weightedIndex(d2);
+        std::copy(points.row(pick), points.row(pick) + dim,
+                  centroids.row(next));
+    }
+
+    KmeansFlatResult res;
+    res.assignment.assign(n, 0);
+
+    std::vector<double> centroid_norms(opts.k);
+    FlatMatrix sums(opts.k, dim);
+    std::vector<double> wsum(opts.k);
+
+    for (unsigned iter = 0; iter < opts.maxIters; ++iter) {
+        res.iterations = iter + 1;
+
+        // Assignment step.
+        for (unsigned c = 0; c < opts.k; ++c)
+            centroid_norms[c] = sqNorm(centroids.row(c), dim);
+        bool changed = assignNearest(points, centroids, centroid_norms,
+                                     res.assignment);
+
+        // Update step.
+        sums.fill(0.0);
+        std::fill(wsum.begin(), wsum.end(), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned c = res.assignment[i];
+            double w = weights[i];
+            wsum[c] += w;
+            const double *p = points.row(i);
+            double *s = sums.row(c);
+            for (std::size_t d = 0; d < dim; ++d)
+                s[d] += w * p[d];
+        }
+        for (unsigned c = 0; c < opts.k; ++c) {
+            if (wsum[c] <= 0.0)
+                continue; // keep the previous centroid
+            const double *s = sums.row(c);
+            double *cent = centroids.row(c);
+            for (std::size_t d = 0; d < dim; ++d)
+                cent[d] = s[d] / wsum[c];
+        }
+
+        if (!changed)
+            break;
+    }
+
+    // The last update step moved the centroids after the last
+    // assignment, so re-assign once against the final centroids: the
+    // returned assignment, centroids and inertia are then mutually
+    // consistent.
+    for (unsigned c = 0; c < opts.k; ++c)
+        centroid_norms[c] = sqNorm(centroids.row(c), dim);
+    assignNearest(points, centroids, centroid_norms, res.assignment);
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        res.inertia += weights[i] * sqDistance(
+            points.row(i), centroids.row(res.assignment[i]), dim);
+    }
+    res.centroids = std::move(centroids);
+    return res;
+}
 
 KmeansResult
 kmeans(const std::vector<std::vector<double>> &points,
        const std::vector<double> &weights, const KmeansOptions &opts)
 {
     fatal_if(points.empty(), "kmeans: no points");
-    fatal_if(points.size() != weights.size(),
-             "kmeans: %zu points but %zu weights", points.size(),
-             weights.size());
-    fatal_if(opts.k == 0 || opts.k > points.size(),
-             "kmeans: k=%u out of range for %zu points", opts.k,
-             points.size());
 
-    size_t dim = points[0].size();
+    std::size_t dim = points[0].size();
     for (const auto &p : points)
         fatal_if(p.size() != dim, "kmeans: inconsistent dimensions");
 
-    Rng rng(opts.seed, 0x5eed);
-
-    // k-means++ initialisation.
-    std::vector<std::vector<double>> centroids;
-    centroids.reserve(opts.k);
-    centroids.push_back(points[rng.weightedIndex(weights)]);
-    while (centroids.size() < opts.k) {
-        std::vector<double> d2(points.size());
-        for (size_t i = 0; i < points.size(); ++i) {
-            double best = std::numeric_limits<double>::infinity();
-            for (const auto &c : centroids)
-                best = std::min(best, sqDist(points[i], c));
-            d2[i] = best * std::max(weights[i], 1e-12);
-        }
-        centroids.push_back(points[rng.weightedIndex(d2)]);
-    }
+    KmeansFlatResult flat =
+        kmeansFlat(FlatMatrix::fromNested(points), weights, opts);
 
     KmeansResult res;
-    res.assignment.assign(points.size(), 0);
-
-    for (unsigned iter = 0; iter < opts.maxIters; ++iter) {
-        res.iterations = iter + 1;
-
-        // Assignment step.
-        bool changed = false;
-        for (size_t i = 0; i < points.size(); ++i) {
-            unsigned best_c = 0;
-            double best_d = std::numeric_limits<double>::infinity();
-            for (unsigned c = 0; c < centroids.size(); ++c) {
-                double d = sqDist(points[i], centroids[c]);
-                if (d < best_d) {
-                    best_d = d;
-                    best_c = c;
-                }
-            }
-            if (res.assignment[i] != best_c) {
-                res.assignment[i] = best_c;
-                changed = true;
-            }
-        }
-
-        // Update step.
-        std::vector<std::vector<double>> sums(
-            opts.k, std::vector<double>(dim, 0.0));
-        std::vector<double> wsum(opts.k, 0.0);
-        for (size_t i = 0; i < points.size(); ++i) {
-            unsigned c = res.assignment[i];
-            wsum[c] += weights[i];
-            for (size_t d = 0; d < dim; ++d)
-                sums[c][d] += weights[i] * points[i][d];
-        }
-        for (unsigned c = 0; c < opts.k; ++c) {
-            if (wsum[c] <= 0.0)
-                continue; // keep the previous centroid
-            for (size_t d = 0; d < dim; ++d)
-                centroids[c][d] = sums[c][d] / wsum[c];
-        }
-
-        if (!changed && iter > 0)
-            break;
-    }
-
-    res.centroids = std::move(centroids);
-    res.inertia = 0.0;
-    for (size_t i = 0; i < points.size(); ++i) {
-        res.inertia += weights[i] *
-            sqDist(points[i], res.centroids[res.assignment[i]]);
-    }
+    res.assignment = std::move(flat.assignment);
+    res.centroids = flat.centroids.toNested();
+    res.inertia = flat.inertia;
+    res.iterations = flat.iterations;
     return res;
 }
 
@@ -133,19 +194,18 @@ selectByKmeans(const SlStats &stats, unsigned k, uint64_t seed)
         max_stat = std::max(max_stat, e.statValue);
     fatal_if(max_stat <= 0.0, "selectByKmeans: all statistics zero");
 
-    std::vector<std::vector<double>> points;
+    FlatMatrix points(entries.size(), 1);
     std::vector<double> weights;
-    points.reserve(entries.size());
     weights.reserve(entries.size());
-    for (const SlEntry &e : entries) {
-        points.push_back({e.statValue / max_stat});
-        weights.push_back(static_cast<double>(e.freq));
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        points(i, 0) = entries[i].statValue / max_stat;
+        weights.push_back(static_cast<double>(entries[i].freq));
     }
 
     KmeansOptions kopts;
     kopts.k = k;
     kopts.seed = seed;
-    KmeansResult km = kmeans(points, weights, kopts);
+    KmeansFlatResult km = kmeansFlat(points, weights, kopts);
 
     // Representative per cluster: member closest to the centroid;
     // weight: the cluster's iteration count.
@@ -156,7 +216,7 @@ selectByKmeans(const SlStats &stats, unsigned k, uint64_t seed)
     for (size_t i = 0; i < entries.size(); ++i) {
         unsigned c = km.assignment[i];
         cluster_w[c] += static_cast<double>(entries[i].freq);
-        double d = sqDist(points[i], km.centroids[c]);
+        double d = sqDistance(points.row(i), km.centroids.row(c), 1);
         if (d < rep_d[c]) {
             rep_d[c] = d;
             rep[c] = entries[i].seqLen;
@@ -165,13 +225,15 @@ selectByKmeans(const SlStats &stats, unsigned k, uint64_t seed)
     }
 
     SeqPointSet set;
-    set.binsUsed = k;
     for (unsigned c = 0; c < k; ++c) {
         if (rep[c] < 0 || cluster_w[c] <= 0.0)
             continue; // empty cluster
         set.points.push_back(SeqPointRecord{
             rep[c], cluster_w[c], entries[rep_idx[c]].statValue});
     }
+    // Report the clusters that actually emitted a representative, not
+    // the requested k: empty clusters are dropped above.
+    set.binsUsed = static_cast<unsigned>(set.points.size());
     std::sort(set.points.begin(), set.points.end(),
               [](const SeqPointRecord &a, const SeqPointRecord &b) {
                   return a.seqLen < b.seqLen;

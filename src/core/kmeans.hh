@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/flat_matrix.hh"
 #include "core/seqpoint.hh"
 #include "core/sl_log.hh"
 
@@ -33,8 +34,36 @@ struct KmeansResult {
     unsigned iterations = 0; ///< Lloyd iterations executed.
 };
 
+/** k-means result over flat row-major storage (no per-row heaps). */
+struct KmeansFlatResult {
+    std::vector<unsigned> assignment; ///< Cluster id per point.
+    FlatMatrix centroids;    ///< Final centroids, one per row.
+    double inertia = 0.0;    ///< Weighted within-cluster SSE, computed
+                             ///< against the final centroids and a
+                             ///< final consistent assignment.
+    unsigned iterations = 0; ///< Lloyd iterations executed.
+};
+
+/**
+ * Weighted Lloyd's k-means with k-means++ initialisation over a flat
+ * row-major point matrix. The assignment step scans contiguous rows
+ * and ranks centroids by `||c||^2 - 2 p.c` (the expansion of
+ * `||p-c||^2` with the point-norm term dropped), with centroid norms
+ * precomputed once per Lloyd iteration.
+ *
+ * @param points One point per row.
+ * @param weights Non-negative per-point weights.
+ * @param opts Tunables; k must not exceed the point count.
+ * @return Clustering result (deterministic for a given seed).
+ */
+KmeansFlatResult kmeansFlat(const FlatMatrix &points,
+                            const std::vector<double> &weights,
+                            const KmeansOptions &opts);
+
 /**
  * Weighted Lloyd's k-means with k-means++ initialisation.
+ *
+ * Nested-layout convenience wrapper over kmeansFlat().
  *
  * @param points Feature vectors (all the same dimension).
  * @param weights Non-negative per-point weights.

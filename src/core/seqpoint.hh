@@ -62,7 +62,11 @@ struct SeqPointRecord {
 /** The selected representative set plus selection diagnostics. */
 struct SeqPointSet {
     std::vector<SeqPointRecord> points; ///< Ascending by SL.
-    unsigned binsUsed = 0;      ///< Final bucket count (0 if all-unique).
+    unsigned binsUsed = 0;      ///< Final bucket count (0 if
+                                ///< all-unique). The k-means selector
+                                ///< reports the clusters that emitted
+                                ///< a representative, i.e. empty
+                                ///< clusters are not counted.
     bool usedAllUnique = false; ///< True when below the n threshold.
     bool converged = false;     ///< Error threshold met.
     double selfError = 0.0;     ///< Relative error on the reference

@@ -12,9 +12,11 @@ namespace harness {
 
 Experiment::ConfigState::ConfigState(const sim::GpuConfig &cfg,
                                      const nn::Model &model,
-                                     unsigned batch)
-    : gpu(cfg), tuner(nn::Autotuner::Mode::Measured, &gpu),
-      profiler(gpu, model, tuner, batch)
+                                     unsigned batch, bool timing_cache,
+                                     bool memoize)
+    : gpu(cfg, timing_cache),
+      tuner(nn::Autotuner::Mode::Measured, &gpu),
+      profiler(gpu, model, tuner, batch, memoize)
 {
 }
 
@@ -39,10 +41,26 @@ Experiment::state(const sim::GpuConfig &cfg)
     auto it = states.find(cfg.name);
     if (it == states.end()) {
         it = states.emplace(cfg.name,
-            std::make_unique<ConfigState>(cfg, wl.model,
-                                          wl.batchSize)).first;
+            std::make_unique<ConfigState>(cfg, wl.model, wl.batchSize,
+                                          timingCache,
+                                          memoizeProfiles)).first;
     }
     return *it->second;
+}
+
+void
+Experiment::warmIterProfiles(const sim::GpuConfig &cfg,
+                             const std::vector<int64_t> &sls)
+{
+    if (!memoizeProfiles)
+        return;
+    state(cfg).profiler.warmTrainProfiles(sls, profThreads);
+}
+
+sim::TimingCacheStats
+Experiment::timingCacheStats(const sim::GpuConfig &cfg)
+{
+    return state(cfg).gpu.timingCacheStats();
 }
 
 const prof::TrainLog &
@@ -55,6 +73,8 @@ Experiment::epochLog(const sim::GpuConfig &cfg)
         tc.policy = wl.policy;
         tc.seed = wl.seed;
         tc.evalCostMultiplier = wl.evalCostMultiplier;
+        tc.memoizeProfiles = memoizeProfiles;
+        tc.profileThreads = profThreads;
         st.log = std::make_unique<prof::TrainLog>(
             prof::runTrainingEpoch(st.gpu, wl.model, wl.dataset, tc));
     }

@@ -10,9 +10,11 @@
 #ifndef SEQPOINT_HARNESS_EXPERIMENT_HH
 #define SEQPOINT_HARNESS_EXPERIMENT_HH
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baselines.hh"
@@ -54,6 +56,41 @@ class Experiment
 
     /** @return SeqPoint tunables in use. */
     const core::SeqPointOptions &options() const { return opts; }
+
+    /**
+     * Profiling-engine knobs. Set these before the first query for a
+     * configuration: they apply to per-configuration state as it is
+     * created and do not retrofit existing state.
+     */
+    /**
+     * Threads for per-SL profiling sweeps (1 = serial; the default
+     * is the hardware concurrency). Parallel sweeps are bit-identical
+     * to serial ones, so this only changes wall time.
+     */
+    void setProfileThreads(unsigned threads) { profThreads = threads; }
+
+    /** @return Configured sweep thread count. */
+    unsigned profileThreads() const { return profThreads; }
+
+    /** Enable/disable the per-device kernel-timing cache. */
+    void setTimingCacheEnabled(bool enable) { timingCache = enable; }
+
+    /** Enable/disable per-SL profile memoization. */
+    void setMemoizeProfiles(bool enable) { memoizeProfiles = enable; }
+
+    /**
+     * Pre-profile a set of SLs on a configuration using the sweep
+     * thread pool; later iterTime()/iterProfile() calls for those SLs
+     * are memo hits. Results are bit-identical to serial profiling.
+     *
+     * @param cfg Hardware configuration.
+     * @param sls Sequence lengths to warm.
+     */
+    void warmIterProfiles(const sim::GpuConfig &cfg,
+                          const std::vector<int64_t> &sls);
+
+    /** Kernel-timing-cache statistics for a configuration's device. */
+    sim::TimingCacheStats timingCacheStats(const sim::GpuConfig &cfg);
 
     /**
      * Full-epoch training log on a configuration (memoized).
@@ -138,11 +175,15 @@ class Experiment
         std::unique_ptr<prof::TrainLog> log;
 
         ConfigState(const sim::GpuConfig &cfg, const nn::Model &model,
-                    unsigned batch);
+                    unsigned batch, bool timing_cache, bool memoize);
     };
 
     Workload wl;
     core::SeqPointOptions opts;
+    unsigned profThreads =
+        std::max(1u, std::thread::hardware_concurrency());
+    bool timingCache = true;
+    bool memoizeProfiles = true;
     std::map<std::string, std::unique_ptr<ConfigState>> states;
 
     ConfigState &state(const sim::GpuConfig &cfg);

@@ -51,16 +51,45 @@ Autotuner::select(int64_t m, int64_t n, int64_t k)
              static_cast<long long>(k));
 
     ShapeKey key{m, n, k};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
 
-    GemmVariant chosen = (mode == Mode::Heuristic)
-        ? chooseHeuristic(m, n, k)
+    // std::map nodes are stable, so the returned reference survives
+    // later insertions by other threads once the lock is released.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second.variant;
+    }
+
+    // Tune outside the lock so an untuned shape doesn't serialize
+    // every concurrent select(). Both policies are pure functions of
+    // the shape, so racing threads compute identical entries and
+    // emplace keeps the first.
+    Entry chosen = (mode == Mode::Heuristic)
+        ? Entry{chooseHeuristic(m, n, k), 0.0}
         : chooseMeasured(m, n, k);
+
+    std::lock_guard<std::mutex> lock(mu);
     auto [pos, inserted] = cache.emplace(key, chosen);
     (void)inserted;
-    return pos->second;
+    return pos->second.variant;
+}
+
+double
+Autotuner::tuningCostSec() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    double total = 0.0;
+    for (const auto &[key, entry] : cache)
+        total += entry.costSec;
+    return total;
+}
+
+size_t
+Autotuner::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cache.size();
 }
 
 GemmVariant
@@ -91,31 +120,32 @@ Autotuner::chooseHeuristic(int64_t m, int64_t n, int64_t k) const
     return *best;
 }
 
-GemmVariant
+Autotuner::Entry
 Autotuner::chooseMeasured(int64_t m, int64_t n, int64_t k)
 {
     const auto &menu = gemmVariantMenu();
     double best_time = 0.0;
+    double shape_cost = 0.0;
     const GemmVariant *best = nullptr;
 
     for (const GemmVariant &v : menu) {
         sim::KernelDesc desc = gemmKernelForVariant("autotune_probe",
                                                     m, n, k, v);
         sim::KernelRecord rec = gpu->execute(desc);
-        tuningCost += rec.timeSec;
+        shape_cost += rec.timeSec;
         if (best == nullptr || rec.timeSec < best_time) {
             best = &v;
             best_time = rec.timeSec;
         }
     }
-    return *best;
+    return Entry{*best, shape_cost};
 }
 
 void
 Autotuner::reset()
 {
+    std::lock_guard<std::mutex> lock(mu);
     cache.clear();
-    tuningCost = 0.0;
 }
 
 } // namespace nn

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -43,6 +44,11 @@ const std::vector<GemmVariant> &gemmVariantMenu();
  * bound device -- the expensive paper-style autotune -- and records
  * the accumulated tuning cost so callers can include or exclude it
  * from training-time accounts.
+ *
+ * select() is thread-safe so concurrent profiling tasks can share one
+ * tuner. The tuning cost is stored per shape and summed in shape-key
+ * order, so tuningCostSec() is bit-identical however the shapes were
+ * interleaved across threads.
  */
 class Autotuner
 {
@@ -72,11 +78,15 @@ class Autotuner
      */
     const GemmVariant &select(int64_t m, int64_t n, int64_t k);
 
-    /** @return Accumulated Measured-mode tuning time in seconds. */
-    double tuningCostSec() const { return tuningCost; }
+    /**
+     * Accumulated Measured-mode tuning time in seconds, summed over
+     * the tuned shapes in shape-key order (deterministic regardless
+     * of the tuning interleaving).
+     */
+    double tuningCostSec() const;
 
     /** @return Number of distinct shapes tuned so far. */
-    size_t cacheSize() const { return cache.size(); }
+    size_t cacheSize() const;
 
     /** Drop the cache (fresh training run). */
     void reset();
@@ -84,13 +94,19 @@ class Autotuner
   private:
     using ShapeKey = std::tuple<int64_t, int64_t, int64_t>;
 
+    /** One tuned shape: the chosen variant and what tuning it cost. */
+    struct Entry {
+        GemmVariant variant; ///< Winning variant.
+        double costSec = 0.0; ///< Measured-mode probe time.
+    };
+
     Mode mode;
     const sim::Gpu *gpu;
-    std::map<ShapeKey, GemmVariant> cache;
-    double tuningCost = 0.0;
+    mutable std::mutex mu;
+    std::map<ShapeKey, Entry> cache;
 
     GemmVariant chooseHeuristic(int64_t m, int64_t n, int64_t k) const;
-    GemmVariant chooseMeasured(int64_t m, int64_t n, int64_t k);
+    Entry chooseMeasured(int64_t m, int64_t n, int64_t k);
 };
 
 } // namespace nn

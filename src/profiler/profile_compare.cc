@@ -5,6 +5,7 @@
 
 #include "profiler/profile_compare.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace seqpoint {
@@ -59,6 +60,40 @@ classShareDistance(const IterationProfile &a, const IterationProfile &b)
     double d = 0.0;
     for (unsigned i = 0; i < sim::numKernelClasses; ++i)
         d += std::fabs(sa[i] - sb[i]);
+    return d;
+}
+
+FlatMatrix
+classShareMatrix(const std::vector<const IterationProfile *> &profiles)
+{
+    FlatMatrix m(profiles.size(), sim::numKernelClasses);
+    for (std::size_t r = 0; r < profiles.size(); ++r) {
+        auto shares = profiles[r]->classShares();
+        std::copy(shares.begin(), shares.end(), m.row(r));
+    }
+    return m;
+}
+
+FlatMatrix
+classShareMatrix(const std::vector<IterationProfile> &profiles)
+{
+    FlatMatrix m(profiles.size(), sim::numKernelClasses);
+    for (std::size_t r = 0; r < profiles.size(); ++r) {
+        auto shares = profiles[r].classShares();
+        std::copy(shares.begin(), shares.end(), m.row(r));
+    }
+    return m;
+}
+
+double
+classShareDistance(const FlatMatrix &shares, std::size_t i,
+                   std::size_t j)
+{
+    const double *a = shares.row(i);
+    const double *b = shares.row(j);
+    double d = 0.0;
+    for (std::size_t c = 0; c < shares.cols(); ++c)
+        d += std::fabs(a[c] - b[c]);
     return d;
 }
 

@@ -8,6 +8,7 @@
 #ifndef SEQPOINT_PROFILER_PROFILE_COMPARE_HH
 #define SEQPOINT_PROFILER_PROFILE_COMPARE_HH
 
+#include "common/flat_matrix.hh"
 #include "profiler/iteration_profile.hh"
 
 namespace seqpoint {
@@ -50,6 +51,32 @@ KernelOverlap compareUniqueKernels(const DetailedProfile &a,
  */
 double classShareDistance(const IterationProfile &a,
                           const IterationProfile &b);
+
+/**
+ * Stack the kernel-class runtime shares of many profiles into one
+ * flat row-major matrix (one row per profile, numKernelClasses
+ * columns) -- the contiguous profile-vector layout the similarity
+ * analyses and clustering scan.
+ *
+ * @param profiles Profiles, one row each.
+ */
+FlatMatrix classShareMatrix(
+    const std::vector<const IterationProfile *> &profiles);
+
+/** Overload over a value vector (no pointer plumbing needed). */
+FlatMatrix classShareMatrix(
+    const std::vector<IterationProfile> &profiles);
+
+/**
+ * L1 distance between two rows of a share matrix
+ * (0 = identical distribution, 2 = disjoint).
+ *
+ * @param shares Share matrix from classShareMatrix().
+ * @param i First row.
+ * @param j Second row.
+ */
+double classShareDistance(const FlatMatrix &shares, std::size_t i,
+                          std::size_t j);
 
 } // namespace prof
 } // namespace seqpoint

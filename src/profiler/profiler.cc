@@ -5,33 +5,47 @@
 
 #include "profiler/profiler.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace seqpoint {
 namespace prof {
 
 Profiler::Profiler(const sim::Gpu &gpu, const nn::Model &model,
-                   nn::Autotuner &tuner, unsigned batch)
-    : gpu_(gpu), model(model), tuner(tuner), batch(batch)
+                   nn::Autotuner &tuner, unsigned batch, bool memoize)
+    : gpu_(gpu), model(model), tuner(tuner), batch(batch),
+      memoize(memoize)
 {
     fatal_if(batch == 0, "Profiler: zero batch size");
+}
+
+IterationProfile
+Profiler::computeProfile(int64_t seq_len, bool train) const
+{
+    std::vector<sim::KernelDesc> kernels = train
+        ? model.lowerIteration(batch, seq_len, tuner)
+        : model.lowerInference(batch, seq_len, tuner);
+    sim::ExecutionResult res = gpu_.executeAll(kernels,
+                                               /*keep_records=*/true);
+    DetailedProfile detail = foldRecords(seq_len, res.records);
+    return static_cast<IterationProfile>(detail);
 }
 
 const IterationProfile &
 Profiler::profileIteration(int64_t seq_len)
 {
+    if (!memoize) {
+        scratch = computeProfile(seq_len, /*train=*/true);
+        return scratch;
+    }
+
     auto it = trainCache.find(seq_len);
     if (it != trainCache.end())
         return it->second;
 
-    std::vector<sim::KernelDesc> kernels =
-        model.lowerIteration(batch, seq_len, tuner);
-    sim::ExecutionResult res = gpu_.executeAll(kernels,
-                                               /*keep_records=*/true);
-    DetailedProfile detail = foldRecords(seq_len, res.records);
-
-    IterationProfile p = static_cast<IterationProfile>(detail);
-    auto [pos, inserted] = trainCache.emplace(seq_len, std::move(p));
+    auto [pos, inserted] = trainCache.emplace(
+        seq_len, computeProfile(seq_len, /*train=*/true));
     (void)inserted;
     return pos->second;
 }
@@ -49,20 +63,70 @@ Profiler::profileIterationDetailed(int64_t seq_len) const
 const IterationProfile &
 Profiler::profileInference(int64_t seq_len)
 {
+    if (!memoize) {
+        scratch = computeProfile(seq_len, /*train=*/false);
+        return scratch;
+    }
+
     auto it = inferCache.find(seq_len);
     if (it != inferCache.end())
         return it->second;
 
-    std::vector<sim::KernelDesc> kernels =
-        model.lowerInference(batch, seq_len, tuner);
-    sim::ExecutionResult res = gpu_.executeAll(kernels,
-                                               /*keep_records=*/true);
-    DetailedProfile detail = foldRecords(seq_len, res.records);
-
-    IterationProfile p = static_cast<IterationProfile>(detail);
-    auto [pos, inserted] = inferCache.emplace(seq_len, std::move(p));
+    auto [pos, inserted] = inferCache.emplace(
+        seq_len, computeProfile(seq_len, /*train=*/false));
     (void)inserted;
     return pos->second;
+}
+
+void
+Profiler::warmProfiles(const std::vector<int64_t> &sls, unsigned threads,
+                       bool train,
+                       std::map<int64_t, IterationProfile> &cache)
+{
+    fatal_if(!memoize, "Profiler: warm requires memoization");
+
+    // Unique, ascending, not-yet-cached SLs.
+    std::vector<int64_t> todo(sls);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    todo.erase(std::remove_if(todo.begin(), todo.end(),
+                              [&cache](int64_t sl) {
+                                  return cache.count(sl) != 0;
+                              }),
+               todo.end());
+    if (todo.empty())
+        return;
+
+    if (threads <= 1 || todo.size() == 1) {
+        for (int64_t sl : todo)
+            cache.emplace(sl, computeProfile(sl, train));
+        return;
+    }
+
+    // Fan out per SL (the pool exists only while there is work), then
+    // insert in ascending-SL order so the memo ends up in the same
+    // state a serial sweep would produce.
+    std::vector<IterationProfile> results(todo.size());
+    ThreadPool pool(threads);
+    pool.parallelFor(todo.size(), [&](std::size_t i) {
+        results[i] = computeProfile(todo[i], train);
+    });
+    for (std::size_t i = 0; i < todo.size(); ++i)
+        cache.emplace(todo[i], std::move(results[i]));
+}
+
+void
+Profiler::warmTrainProfiles(const std::vector<int64_t> &sls,
+                            unsigned threads)
+{
+    warmProfiles(sls, threads, /*train=*/true, trainCache);
+}
+
+void
+Profiler::warmInferProfiles(const std::vector<int64_t> &sls,
+                            unsigned threads)
+{
+    warmProfiles(sls, threads, /*train=*/false, inferCache);
 }
 
 } // namespace prof

@@ -3,7 +3,9 @@
  * The Profiler binds a model to a device and measures iterations at
  * given sequence lengths. Because iteration behaviour is a pure
  * function of SL for a fixed model/batch/device (the paper's key
- * observation 4), profiles are memoized per SL.
+ * observation 4), profiles are memoized per SL; warmTrainProfiles()
+ * fills the memo for a whole SL sweep in parallel with bit-identical
+ * results to the serial path.
  */
 
 #ifndef SEQPOINT_PROFILER_PROFILER_HH
@@ -11,7 +13,9 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
+#include "common/thread_pool.hh"
 #include "nn/autotune.hh"
 #include "nn/model.hh"
 #include "profiler/iteration_profile.hh"
@@ -33,15 +37,19 @@ class Profiler
      * @param model Network to lower.
      * @param tuner Autotuner shared across the run.
      * @param batch Batch size used for every iteration.
+     * @param memoize Memoize profiles per SL; disabling recovers the
+     *                re-simulate-every-iteration baseline the
+     *                profiling-speedup bench measures against.
      */
     Profiler(const sim::Gpu &gpu, const nn::Model &model,
-             nn::Autotuner &tuner, unsigned batch);
+             nn::Autotuner &tuner, unsigned batch, bool memoize = true);
 
     /**
      * Profile a training iteration at a sequence length (memoized).
      *
      * @param seq_len Sequence length.
-     * @return Aggregate profile (reference valid until destruction).
+     * @return Aggregate profile (reference valid until the next call
+     *         when memoization is disabled, else until destruction).
      */
     const IterationProfile &profileIteration(int64_t seq_len);
 
@@ -59,11 +67,36 @@ class Profiler
      */
     const IterationProfile &profileInference(int64_t seq_len);
 
+    /**
+     * Fill the training-profile memo for every SL in `sls`. With more
+     * than one thread and more than one uncached SL, the per-SL
+     * simulations fan out on a thread pool (created only when there
+     * is work); the memo is then populated serially in ascending-SL
+     * order, so the cache contents -- and every later
+     * profileIteration() result -- are bit-identical to profiling the
+     * same SLs serially.
+     *
+     * Requires memoization to be enabled.
+     *
+     * @param sls Sequence lengths (duplicates and cached SLs are
+     *            skipped).
+     * @param threads Sweep width; <= 1 profiles serially.
+     */
+    void warmTrainProfiles(const std::vector<int64_t> &sls,
+                           unsigned threads);
+
+    /** Memo fill for inference profiles; see warmTrainProfiles(). */
+    void warmInferProfiles(const std::vector<int64_t> &sls,
+                           unsigned threads);
+
     /** @return The device this profiler executes on. */
     const sim::Gpu &gpu() const { return gpu_; }
 
     /** @return The configured batch size. */
     unsigned batchSize() const { return batch; }
+
+    /** @return True when per-SL memoization is enabled. */
+    bool memoizing() const { return memoize; }
 
     /** @return Number of memoized training profiles. */
     size_t cacheSize() const { return trainCache.size(); }
@@ -73,9 +106,19 @@ class Profiler
     const nn::Model &model;
     nn::Autotuner &tuner;
     unsigned batch;
+    bool memoize;
 
     std::map<int64_t, IterationProfile> trainCache;
     std::map<int64_t, IterationProfile> inferCache;
+
+    /** Scratch result for the non-memoizing mode. */
+    IterationProfile scratch;
+
+    IterationProfile computeProfile(int64_t seq_len, bool train) const;
+
+    void warmProfiles(const std::vector<int64_t> &sls, unsigned threads,
+                      bool train,
+                      std::map<int64_t, IterationProfile> &cache);
 };
 
 } // namespace prof

@@ -35,11 +35,39 @@ runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
     fatal_if(dataset.trainLens.empty(), "runTrainingEpoch: empty dataset");
 
     nn::Autotuner tuner(cfg.tunerMode, &gpu);
-    Profiler profiler(gpu, model, tuner, cfg.batchSize);
+    Profiler profiler(gpu, model, tuner, cfg.batchSize,
+                      cfg.memoizeProfiles);
 
     Rng rng(cfg.seed, 0xba7c);
     std::vector<data::Batch> batches = data::makeEpochBatches(
         dataset.trainLens, cfg.batchSize, cfg.policy, rng);
+
+    bool do_eval = cfg.runEval && !dataset.evalLens.empty() &&
+        dataset.evalLens.size() >= cfg.batchSize;
+    std::vector<data::Batch> eval_batches;
+    if (do_eval) {
+        eval_batches = data::makeEpochBatches(
+            dataset.evalLens, cfg.batchSize,
+            data::BatchPolicy::Bucketed, rng);
+    }
+
+    // Parallel per-SL sweep: profile the epoch's unique SLs on a pool
+    // up front; the serial assembly below then runs entirely out of
+    // the memo, so the log is bit-identical to the serial path.
+    if (cfg.profileThreads > 1 && cfg.memoizeProfiles) {
+        std::vector<int64_t> sls;
+        sls.reserve(batches.size());
+        for (const data::Batch &b : batches)
+            sls.push_back(b.seqLen);
+        profiler.warmTrainProfiles(sls, cfg.profileThreads);
+
+        if (do_eval) {
+            sls.clear();
+            for (const data::Batch &b : eval_batches)
+                sls.push_back(b.seqLen);
+            profiler.warmInferProfiles(sls, cfg.profileThreads);
+        }
+    }
 
     TrainLog log;
     log.iterations.reserve(batches.size());
@@ -51,16 +79,9 @@ runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
         log.counters += p.counters;
     }
 
-    if (cfg.runEval && !dataset.evalLens.empty() &&
-        dataset.evalLens.size() >= cfg.batchSize) {
-        std::vector<data::Batch> eval_batches = data::makeEpochBatches(
-            dataset.evalLens, cfg.batchSize,
-            data::BatchPolicy::Bucketed, rng);
-        for (const data::Batch &b : eval_batches) {
-            const IterationProfile &p =
-                profiler.profileInference(b.seqLen);
-            log.evalSec += p.timeSec * cfg.evalCostMultiplier;
-        }
+    for (const data::Batch &b : eval_batches) {
+        const IterationProfile &p = profiler.profileInference(b.seqLen);
+        log.evalSec += p.timeSec * cfg.evalCostMultiplier;
     }
 
     log.autotuneSec = tuner.tuningCostSec();

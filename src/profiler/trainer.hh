@@ -33,6 +33,21 @@ struct TrainConfig {
     nn::Autotuner::Mode tunerMode =
         nn::Autotuner::Mode::Measured;      ///< Autotune policy.
     uint64_t seed = 1;                      ///< Shuffle seed.
+
+    /**
+     * Memoize per-SL profiles (the paper's observation 4). Disabling
+     * re-simulates every iteration from scratch -- the baseline the
+     * profiling-speedup bench compares against.
+     */
+    bool memoizeProfiles = true;
+
+    /**
+     * Threads for the per-SL profiling sweep. Values > 1 pre-profile
+     * the epoch's unique sequence lengths on a thread pool before the
+     * serial log assembly; the log is bit-identical to the serial
+     * path. Requires memoizeProfiles.
+     */
+    unsigned profileThreads = 1;
 };
 
 /** One logged training iteration. */

@@ -81,5 +81,15 @@ measureHitRate(CacheSim &cache,
     return cache.stats().hitRate();
 }
 
+double
+replayHitRate(CacheSim &cache, const AccessTrace &trace)
+{
+    cache.reset();
+    const std::size_t n = trace.size();
+    for (std::size_t i = 0; i < n; ++i)
+        cache.access(trace.addr(i), trace.isWrite(i));
+    return cache.stats().hitRate();
+}
+
 } // namespace sim
 } // namespace seqpoint

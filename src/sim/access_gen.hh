@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hh"
 #include "sim/cache_sim.hh"
@@ -21,6 +22,50 @@ namespace sim {
 
 /** Callback invoked for each generated access. */
 using AccessSink = std::function<void(uint64_t addr, bool write)>;
+
+/**
+ * A recorded access stream in one flat buffer: each entry packs
+ * `(addr << 1) | is_write` into a uint64_t (synthetic addresses stay
+ * far below 2^63). Generating into a trace once and replaying it
+ * avoids the per-access std::function indirection when the same
+ * stream is driven through several cache geometries.
+ */
+class AccessTrace
+{
+  public:
+    /** Append one access. */
+    void add(uint64_t addr, bool write)
+    {
+        words.push_back((addr << 1) | (write ? 1u : 0u));
+    }
+
+    /** @return Number of recorded accesses. */
+    std::size_t size() const { return words.size(); }
+
+    /** @return True when nothing was recorded. */
+    bool empty() const { return words.empty(); }
+
+    /** @return Address of access i. */
+    uint64_t addr(std::size_t i) const { return words[i] >> 1; }
+
+    /** @return True when access i is a write. */
+    bool isWrite(std::size_t i) const { return (words[i] & 1) != 0; }
+
+    /** Pre-allocate room for n accesses. */
+    void reserve(std::size_t n) { words.reserve(n); }
+
+    /** Drop all recorded accesses. */
+    void clear() { words.clear(); }
+
+    /** @return A sink that records into this trace. */
+    AccessSink sink()
+    {
+        return [this](uint64_t a, bool w) { add(a, w); };
+    }
+
+  private:
+    std::vector<uint64_t> words;
+};
 
 /**
  * Streaming access pattern: touch `bytes` bytes once, sequentially,
@@ -69,6 +114,18 @@ void genHotCold(uint64_t accesses, uint64_t hot_bytes, uint64_t cold_bytes,
  */
 double measureHitRate(CacheSim &cache,
                       const std::function<void(const AccessSink &)> &gen);
+
+/**
+ * Replay a recorded trace through a cache and return the hit rate.
+ * The replay loop reads the flat buffer directly -- no per-access
+ * callback -- so sweeping one trace over many cache geometries costs
+ * a contiguous scan each.
+ *
+ * @param cache Cache to exercise (reset first).
+ * @param trace Previously recorded access stream.
+ * @return Hit rate observed over the whole stream.
+ */
+double replayHitRate(CacheSim &cache, const AccessTrace &trace);
 
 } // namespace sim
 } // namespace seqpoint

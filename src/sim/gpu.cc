@@ -8,15 +8,16 @@
 namespace seqpoint {
 namespace sim {
 
-Gpu::Gpu(GpuConfig cfg)
-    : cfg(std::move(cfg))
+Gpu::Gpu(GpuConfig cfg, bool enable_timing_cache)
+    : cfg(std::move(cfg)), cacheEnabled(enable_timing_cache)
 {
 }
 
 KernelRecord
 Gpu::execute(const KernelDesc &desc) const
 {
-    KernelTiming kt = timeKernel(desc, cfg);
+    KernelTiming kt = cacheEnabled ? cache.lookup(desc, cfg)
+                                   : timeKernel(desc, cfg);
 
     KernelRecord rec;
     rec.name = desc.name;

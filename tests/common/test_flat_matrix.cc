@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the flat row-major matrix utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/flat_matrix.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(FlatMatrix, RoundTripsNestedLayout)
+{
+    std::vector<std::vector<double>> nested{
+        {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    FlatMatrix m = FlatMatrix::fromNested(nested);
+
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), nested[r][c]);
+
+    EXPECT_EQ(m.toNested(), nested);
+}
+
+TEST(FlatMatrix, RowsAreContiguous)
+{
+    FlatMatrix m(3, 4);
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = static_cast<double>(10 * r + c);
+
+    // row(r) points into one buffer at stride cols().
+    EXPECT_EQ(m.row(1), m.data() + 4);
+    EXPECT_EQ(m.row(2), m.row(0) + 8);
+    EXPECT_DOUBLE_EQ(m.row(2)[3], 23.0);
+}
+
+TEST(FlatMatrix, AppendRowGrowsAndAdoptsWidth)
+{
+    FlatMatrix m;
+    EXPECT_TRUE(m.empty());
+    m.appendRow({1.0, 2.0});
+    m.appendRow({3.0, 4.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+
+    FlatMatrix other;
+    other.appendRow(m, 1);
+    EXPECT_DOUBLE_EQ(other(0, 1), 4.0);
+}
+
+TEST(FlatMatrix, FillSetsEveryElement)
+{
+    FlatMatrix m(2, 2, 7.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+    m.fill(0.0);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(FlatMatrix, VectorHelpers)
+{
+    double a[3] = {1.0, 2.0, 3.0};
+    double b[3] = {2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(dotProduct(a, b, 3), 2.0 + 8.0 + 18.0);
+    EXPECT_DOUBLE_EQ(sqNorm(a, 3), 14.0);
+    EXPECT_DOUBLE_EQ(sqDistance(a, b, 3), 1.0 + 4.0 + 9.0);
+    // The norm expansion identity the k-means hot loop relies on:
+    // ||a-b||^2 = ||a||^2 - 2 a.b + ||b||^2.
+    EXPECT_NEAR(sqDistance(a, b, 3),
+                sqNorm(a, 3) - 2.0 * dotProduct(a, b, 3) + sqNorm(b, 3),
+                1e-12);
+}
+
+TEST(FlatMatrixDeath, RejectsRaggedInput)
+{
+    EXPECT_DEATH(FlatMatrix::fromNested({{1.0, 2.0}, {3.0}}), "ragged");
+
+    FlatMatrix m;
+    m.appendRow({1.0, 2.0});
+    EXPECT_DEATH(m.appendRow({1.0, 2.0, 3.0}), "row");
+}
+
+} // anonymous namespace
+} // namespace seqpoint

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Determinism tests for the parallel profiling sweep: the parallel,
+ * memoized engine must produce byte-identical logs and profiles to
+ * the serial uncached baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/layers/fully_connected.hh"
+#include "nn/layers/recurrent.hh"
+#include "nn/layers/softmax_loss.hh"
+#include "profiler/profiler.hh"
+#include "profiler/trainer.hh"
+
+namespace seqpoint {
+namespace prof {
+namespace {
+
+nn::Model
+smallRnn()
+{
+    nn::Model m("small");
+    m.add(std::make_unique<nn::RecurrentLayer>(
+        "rnn", nn::CellType::Gru, 128, 128, false,
+        nn::TimeAxis::Source));
+    m.add(std::make_unique<nn::FullyConnectedLayer>(
+        "fc", 128, 32, nn::TimeAxis::Source));
+    m.add(std::make_unique<nn::SoftmaxLossLayer>(
+        "loss", 32, nn::TimeAxis::Source));
+    return m;
+}
+
+data::Dataset
+smallDataset()
+{
+    data::Dataset ds;
+    ds.name = "tiny";
+    Rng rng(4);
+    for (int i = 0; i < 1280; ++i)
+        ds.trainLens.push_back(rng.uniformInt(10, 100));
+    for (int i = 0; i < 128; ++i)
+        ds.evalLens.push_back(rng.uniformInt(10, 100));
+    return ds;
+}
+
+void
+expectLogsBitIdentical(const TrainLog &a, const TrainLog &b)
+{
+    ASSERT_EQ(a.numIterations(), b.numIterations());
+    for (size_t i = 0; i < a.iterations.size(); ++i) {
+        EXPECT_EQ(a.iterations[i].seqLen, b.iterations[i].seqLen);
+        EXPECT_EQ(a.iterations[i].timeSec, b.iterations[i].timeSec);
+    }
+    EXPECT_EQ(a.trainSec, b.trainSec);
+    EXPECT_EQ(a.evalSec, b.evalSec);
+    EXPECT_EQ(a.autotuneSec, b.autotuneSec);
+    EXPECT_EQ(a.counters.kernelsLaunched, b.counters.kernelsLaunched);
+    EXPECT_EQ(a.counters.valuInsts, b.counters.valuInsts);
+    EXPECT_EQ(a.counters.bytesLoaded, b.counters.bytesLoaded);
+    EXPECT_EQ(a.counters.bytesStored, b.counters.bytesStored);
+    EXPECT_EQ(a.counters.dramBytes, b.counters.dramBytes);
+    EXPECT_EQ(a.counters.busySec, b.counters.busySec);
+    EXPECT_EQ(a.counters.writeStallSec, b.counters.writeStallSec);
+}
+
+TEST(ParallelSweep, EpochLogBitIdenticalToSerial)
+{
+    nn::Model model = smallRnn();
+    data::Dataset ds = smallDataset();
+
+    TrainConfig serial;
+    sim::Gpu gpu_serial(sim::GpuConfig::config1());
+    TrainLog base = runTrainingEpoch(gpu_serial, model, ds, serial);
+
+    TrainConfig parallel = serial;
+    parallel.profileThreads = 4;
+    sim::Gpu gpu_parallel(sim::GpuConfig::config1());
+    TrainLog par = runTrainingEpoch(gpu_parallel, model, ds, parallel);
+
+    expectLogsBitIdentical(base, par);
+}
+
+TEST(ParallelSweep, UncachedBaselineBitIdenticalToMemoized)
+{
+    // The profiling-speedup bench's contract: disabling the per-SL
+    // memo AND the kernel-timing cache changes nothing but the time
+    // it takes.
+    nn::Model model = smallRnn();
+    data::Dataset ds = smallDataset();
+
+    TrainConfig memo;
+    sim::Gpu gpu_memo(sim::GpuConfig::config1());
+    TrainLog a = runTrainingEpoch(gpu_memo, model, ds, memo);
+
+    TrainConfig uncached;
+    uncached.memoizeProfiles = false;
+    sim::Gpu gpu_raw(sim::GpuConfig::config1(),
+                     /*enable_timing_cache=*/false);
+    TrainLog b = runTrainingEpoch(gpu_raw, model, ds, uncached);
+
+    EXPECT_GT(gpu_memo.timingCacheStats().hits, 0u);
+    EXPECT_EQ(gpu_raw.timingCacheStats().lookups(), 0u);
+    expectLogsBitIdentical(a, b);
+}
+
+TEST(ParallelSweep, WarmedProfilesMatchOnDemandProfiles)
+{
+    nn::Model model = smallRnn();
+
+    sim::Gpu gpu_a(sim::GpuConfig::config1());
+    nn::Autotuner tuner_a(nn::Autotuner::Mode::Heuristic);
+    Profiler warmed(gpu_a, model, tuner_a, 64);
+
+    sim::Gpu gpu_b(sim::GpuConfig::config1());
+    nn::Autotuner tuner_b(nn::Autotuner::Mode::Heuristic);
+    Profiler lazy(gpu_b, model, tuner_b, 64);
+
+    std::vector<int64_t> sls{40, 10, 70, 40, 10, 25};
+    warmed.warmTrainProfiles(sls, 4);
+    EXPECT_EQ(warmed.cacheSize(), 4u); // unique SLs only
+
+    for (int64_t sl : {10, 25, 40, 70}) {
+        const IterationProfile &w = warmed.profileIteration(sl);
+        const IterationProfile &l = lazy.profileIteration(sl);
+        EXPECT_EQ(w.timeSec, l.timeSec);
+        EXPECT_EQ(w.launches, l.launches);
+        EXPECT_EQ(w.counters.dramBytes, l.counters.dramBytes);
+    }
+    // Warming is idempotent: everything is already cached.
+    warmed.warmTrainProfiles(sls, 4);
+    EXPECT_EQ(warmed.cacheSize(), 4u);
+}
+
+TEST(ParallelSweep, NonMemoizingProfilerRecomputes)
+{
+    nn::Model model = smallRnn();
+    sim::Gpu gpu(sim::GpuConfig::config1());
+    nn::Autotuner tuner(nn::Autotuner::Mode::Heuristic);
+    Profiler raw(gpu, model, tuner, 64, /*memoize=*/false);
+
+    double t1 = raw.profileIteration(50).timeSec;
+    double t2 = raw.profileIteration(50).timeSec;
+    EXPECT_EQ(t1, t2);          // pure function of SL
+    EXPECT_EQ(raw.cacheSize(), 0u); // but nothing is memoized
+    EXPECT_FALSE(raw.memoizing());
+}
+
+} // anonymous namespace
+} // namespace prof
+} // namespace seqpoint
