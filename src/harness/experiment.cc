@@ -38,14 +38,16 @@ Experiment::Experiment(Workload workload, core::SeqPointOptions opts)
 Experiment::ConfigState &
 Experiment::state(const sim::GpuConfig &cfg)
 {
-    auto it = states.find(cfg.name);
-    if (it == states.end()) {
-        it = states.emplace(cfg.name,
-            std::make_unique<ConfigState>(cfg, wl.model, wl.batchSize,
-                                          timingCache,
-                                          memoizeProfiles)).first;
+    // Resolve by full-parameter equality: two configs that share a
+    // name but differ in any parameter must not alias one state.
+    for (const auto &st : states) {
+        if (st->gpu.config() == cfg)
+            return *st;
     }
-    return *it->second;
+    states.push_back(
+        std::make_unique<ConfigState>(cfg, wl.model, wl.batchSize,
+                                      timingCache, memoizeProfiles));
+    return *states.back();
 }
 
 void
@@ -73,10 +75,16 @@ Experiment::epochLog(const sim::GpuConfig &cfg)
         tc.policy = wl.policy;
         tc.seed = wl.seed;
         tc.evalCostMultiplier = wl.evalCostMultiplier;
-        tc.memoizeProfiles = memoizeProfiles;
+        // Knobs freeze into per-config state at creation (see the
+        // header); honor the state's actual mode, not the current
+        // member, so toggling between queries stays valid.
+        tc.memoizeProfiles = st.profiler.memoizing();
         tc.profileThreads = profThreads;
+        // Run through the per-config profiler: the epoch's unique-SL
+        // profiles land in the same memo iterTime()/iterProfile()
+        // read, so nothing is ever profiled twice per configuration.
         st.log = std::make_unique<prof::TrainLog>(
-            prof::runTrainingEpoch(st.gpu, wl.model, wl.dataset, tc));
+            prof::runTrainingEpoch(st.profiler, wl.dataset, tc));
     }
     return *st.log;
 }

@@ -95,6 +95,14 @@ class Experiment
     /**
      * Full-epoch training log on a configuration (memoized).
      *
+     * Runs through the per-config profiler shared with iterTime()/
+     * iterProfile(), so the log's autotuneSec covers only tuning
+     * newly incurred by the epoch: profile queries made before the
+     * first epochLog() call on a config shift that (one-time) cost
+     * out of the log. Iterations, times and counters are pure
+     * functions of the workload and config, query order never
+     * affects them, and totalSec() excludes autotune by default.
+     *
      * @param cfg Hardware configuration.
      */
     const prof::TrainLog &epochLog(const sim::GpuConfig &cfg);
@@ -184,7 +192,14 @@ class Experiment
         std::max(1u, std::thread::hardware_concurrency());
     bool timingCache = true;
     bool memoizeProfiles = true;
-    std::map<std::string, std::unique_ptr<ConfigState>> states;
+
+    /**
+     * Per-configuration states, resolved by field-wise GpuConfig
+     * equality (a handful of configs per experiment; the linear scan
+     * is cheaper than formatting a signature key per lookup, and the
+     * name alone would alias differently-parameterised configs).
+     */
+    std::vector<std::unique_ptr<ConfigState>> states;
 
     ConfigState &state(const sim::GpuConfig &cfg);
 };

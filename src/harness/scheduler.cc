@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parallel experiment scheduler implementation.
+ */
+
+#include "harness/scheduler.hh"
+
+#include <algorithm>
+#include <thread>
+
+namespace seqpoint {
+namespace harness {
+
+ExperimentScheduler::ExperimentScheduler(unsigned threads)
+    : numThreads(threads ? threads
+                         : std::max(1u,
+                                    std::thread::hardware_concurrency()))
+{
+}
+
+void
+ExperimentScheduler::forEachCell(
+    std::size_t num_workloads, std::size_t num_configs,
+    const std::function<void(std::size_t, std::size_t, std::size_t)> &fn)
+    const
+{
+    std::size_t cells = num_workloads * num_configs;
+    if (cells == 0)
+        return;
+
+    auto body = [&](std::size_t cell) {
+        fn(cell, cell / num_configs, cell % num_configs);
+    };
+
+    if (numThreads <= 1 || cells == 1) {
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            body(cell);
+        return;
+    }
+
+    ThreadPool pool(numThreads);
+    pool.parallelFor(cells, body);
+}
+
+std::vector<EpochCellResult>
+ExperimentScheduler::epochSweep(
+    const std::vector<WorkloadFactory> &workloads,
+    const std::vector<sim::GpuConfig> &configs) const
+{
+    return mapCells<EpochCellResult>(
+        workloads, configs,
+        [](Experiment &exp, const sim::GpuConfig &cfg) {
+            const prof::TrainLog &log = exp.epochLog(cfg);
+            EpochCellResult r;
+            r.workload = exp.workload().name;
+            r.config = cfg.name;
+            r.iterations = log.numIterations();
+            r.trainSec = log.trainSec;
+            r.evalSec = log.evalSec;
+            r.throughput = log.throughput(exp.workload().batchSize);
+            r.counters = log.counters;
+            return r;
+        });
+}
+
+} // namespace harness
+} // namespace seqpoint

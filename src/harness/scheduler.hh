@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parallel experiment scheduler: runs independent
+ * (workload x configuration) sweep cells concurrently on a ThreadPool
+ * private to each sweep. Every cell gets its own Experiment (and
+ * therefore its own per-config ConfigStates, timing caches and
+ * autotuner), so cells never share mutable state; results merge in
+ * deterministic workload-major, config-minor order and are
+ * byte-identical to a serial sweep regardless of scheduling.
+ */
+
+#ifndef SEQPOINT_HARNESS_SCHEDULER_HH
+#define SEQPOINT_HARNESS_SCHEDULER_HH
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "harness/experiment.hh"
+
+namespace seqpoint {
+namespace harness {
+
+/** Builds a fresh workload instance for one isolated sweep cell. */
+using WorkloadFactory = std::function<Workload()>;
+
+/** Epoch-level measurements of one (workload, config) sweep cell. */
+struct EpochCellResult {
+    std::string workload;       ///< Workload name.
+    std::string config;         ///< Configuration name.
+    std::size_t iterations = 0; ///< Epoch iteration count.
+    double trainSec = 0.0;      ///< Epoch training time.
+    double evalSec = 0.0;       ///< Evaluation-phase time.
+    double throughput = 0.0;    ///< Training throughput (samples/s).
+    sim::PerfCounters counters; ///< Summed training counters.
+};
+
+/**
+ * Schedules independent sweep cells across a thread pool.
+ *
+ * Cell (w, c) evaluates workload w on configuration c inside an
+ * Experiment constructed for that cell alone. Determinism: cell
+ * evaluation is a pure function of (workload factory, config), so
+ * the result vector -- indexed w * numConfigs + c -- is identical
+ * for any thread count, including 1 (the serial sweep).
+ */
+class ExperimentScheduler
+{
+  public:
+    /**
+     * Construct a scheduler.
+     *
+     * @param threads Concurrent cells; 0 picks the hardware
+     *                concurrency, 1 runs the serial sweep.
+     */
+    explicit ExperimentScheduler(unsigned threads = 0);
+
+    /** @return Configured cell concurrency. */
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Threads each cell's own profiling sweep may use (default 1:
+     * cells already saturate the pool, oversubscribing the inner
+     * sweep as well hurts).
+     */
+    void setProfileThreadsPerCell(unsigned threads)
+    {
+        cellProfileThreads = threads;
+    }
+
+    /** @return Per-cell profiling-sweep thread count. */
+    unsigned profileThreadsPerCell() const { return cellProfileThreads; }
+
+    /**
+     * Evaluate `eval` on every (workload x config) cell.
+     *
+     * @param workloads Workload factories, one per sweep row.
+     * @param configs Hardware configurations, one per sweep column.
+     * @param eval Cell body; runs on a pool thread with a private
+     *             Experiment. Must not touch shared mutable state.
+     * @return Results in workload-major, config-minor order.
+     */
+    template <typename R>
+    std::vector<R>
+    mapCells(const std::vector<WorkloadFactory> &workloads,
+             const std::vector<sim::GpuConfig> &configs,
+             const std::function<R(Experiment &,
+                                   const sim::GpuConfig &)> &eval) const
+    {
+        // vector<bool> packs bits, so concurrent element writes from
+        // pool threads would race; wrap bools in a struct instead.
+        static_assert(!std::is_same_v<R, bool>,
+                      "mapCells<bool> would race on vector<bool> bits");
+        std::vector<R> results(workloads.size() * configs.size());
+        forEachCell(workloads.size(), configs.size(),
+                    [&](std::size_t cell, std::size_t w, std::size_t c) {
+                        Experiment exp(workloads[w]());
+                        exp.setProfileThreads(
+                            cellProfileThreads ? cellProfileThreads : 1);
+                        results[cell] = eval(exp, configs[c]);
+                    });
+        return results;
+    }
+
+    /**
+     * Run the standard epoch sweep: one full training epoch per
+     * (workload x config) cell, epoch-level measurements out.
+     *
+     * @param workloads Workload factories.
+     * @param configs Hardware configurations.
+     * @return Cell results in workload-major, config-minor order.
+     */
+    std::vector<EpochCellResult>
+    epochSweep(const std::vector<WorkloadFactory> &workloads,
+               const std::vector<sim::GpuConfig> &configs) const;
+
+  private:
+    unsigned numThreads;
+    unsigned cellProfileThreads = 1;
+
+    /**
+     * Invoke fn(cell, w, c) for every cell, across the pool when
+     * more than one thread is configured.
+     */
+    void forEachCell(
+        std::size_t num_workloads, std::size_t num_configs,
+        const std::function<void(std::size_t, std::size_t, std::size_t)>
+            &fn) const;
+};
+
+} // namespace harness
+} // namespace seqpoint
+
+#endif // SEQPOINT_HARNESS_SCHEDULER_HH

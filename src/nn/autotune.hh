@@ -78,6 +78,9 @@ class Autotuner
      */
     const GemmVariant &select(int64_t m, int64_t n, int64_t k);
 
+    /** @return The selection policy this tuner was built with. */
+    Mode selectionMode() const { return mode; }
+
     /**
      * Accumulated Measured-mode tuning time in seconds, summed over
      * the tuned shapes in shape-key order (deterministic regardless

@@ -26,10 +26,19 @@ Profiler::computeProfile(int64_t seq_len, bool train) const
     std::vector<sim::KernelDesc> kernels = train
         ? model.lowerIteration(batch, seq_len, tuner)
         : model.lowerInference(batch, seq_len, tuner);
+    // Records-free execution: the aggregates accumulate in launch
+    // order with the same arithmetic as foldRecords over a recorded
+    // stream, so the profile is bit-identical to the detailed path
+    // without constructing a KernelRecord per launch.
     sim::ExecutionResult res = gpu_.executeAll(kernels,
-                                               /*keep_records=*/true);
-    DetailedProfile detail = foldRecords(seq_len, res.records);
-    return static_cast<IterationProfile>(detail);
+                                               /*keep_records=*/false);
+    IterationProfile p;
+    p.seqLen = seq_len;
+    p.timeSec = res.totalSec;
+    p.launches = res.launches;
+    p.counters = res.counters;
+    p.classTimeSec = res.classSec;
+    return p;
 }
 
 const IterationProfile &

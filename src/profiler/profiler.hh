@@ -92,6 +92,9 @@ class Profiler
     /** @return The device this profiler executes on. */
     const sim::Gpu &gpu() const { return gpu_; }
 
+    /** @return The autotuner shared across this profiler's runs. */
+    const nn::Autotuner &autotuner() const { return tuner; }
+
     /** @return The configured batch size. */
     unsigned batchSize() const { return batch; }
 

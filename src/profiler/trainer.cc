@@ -5,6 +5,8 @@
 
 #include "profiler/trainer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace seqpoint {
@@ -28,15 +30,43 @@ TrainLog::throughput(unsigned batch) const
         static_cast<double>(batch) / trainSec;
 }
 
+namespace {
+
+/** Unique batch SLs in ascending order. */
+std::vector<int64_t>
+uniqueSls(const std::vector<data::Batch> &batches)
+{
+    std::vector<int64_t> sls;
+    sls.reserve(batches.size());
+    for (const data::Batch &b : batches)
+        sls.push_back(b.seqLen);
+    std::sort(sls.begin(), sls.end());
+    sls.erase(std::unique(sls.begin(), sls.end()), sls.end());
+    return sls;
+}
+
+/** Index of sl in the sorted unique-SL vector. */
+std::size_t
+slIndex(const std::vector<int64_t> &sls, int64_t sl)
+{
+    return static_cast<std::size_t>(
+        std::lower_bound(sls.begin(), sls.end(), sl) - sls.begin());
+}
+
+} // anonymous namespace
+
 TrainLog
-runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
-                 const data::Dataset &dataset, const TrainConfig &cfg)
+runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
+                 const TrainConfig &cfg)
 {
     fatal_if(dataset.trainLens.empty(), "runTrainingEpoch: empty dataset");
-
-    nn::Autotuner tuner(cfg.tunerMode, &gpu);
-    Profiler profiler(gpu, model, tuner, cfg.batchSize,
-                      cfg.memoizeProfiles);
+    fatal_if(profiler.batchSize() != cfg.batchSize,
+             "runTrainingEpoch: profiler batch %u != config batch %u",
+             profiler.batchSize(), cfg.batchSize);
+    fatal_if(profiler.memoizing() != cfg.memoizeProfiles,
+             "runTrainingEpoch: profiler/config memoization mismatch");
+    fatal_if(profiler.autotuner().selectionMode() != cfg.tunerMode,
+             "runTrainingEpoch: profiler/config autotuner-mode mismatch");
 
     Rng rng(cfg.seed, 0xba7c);
     std::vector<data::Batch> batches = data::makeEpochBatches(
@@ -51,41 +81,86 @@ runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
             data::BatchPolicy::Bucketed, rng);
     }
 
-    // Parallel per-SL sweep: profile the epoch's unique SLs on a pool
-    // up front; the serial assembly below then runs entirely out of
-    // the memo, so the log is bit-identical to the serial path.
-    if (cfg.profileThreads > 1 && cfg.memoizeProfiles) {
-        std::vector<int64_t> sls;
-        sls.reserve(batches.size());
-        for (const data::Batch &b : batches)
-            sls.push_back(b.seqLen);
-        profiler.warmTrainProfiles(sls, cfg.profileThreads);
+    const bool memo = profiler.memoizing();
+    const bool replay = memo && cfg.uniqueSlReplay;
 
+    // One-time autotune cost newly incurred by this epoch: with a
+    // fresh profiler the delta is the tuner's whole cost, matching
+    // the historical accounting.
+    double tune_before = profiler.autotuner().tuningCostSec();
+
+    std::vector<int64_t> train_sls, eval_sls;
+    if (replay || (memo && cfg.profileThreads > 1)) {
+        // Fill the per-SL memo up front: each unique SL is profiled
+        // exactly once (in ascending order, on the sweep pool when
+        // profileThreads > 1). The assembly below then runs entirely
+        // out of the memo; because profiles are pure functions of SL
+        // the log is bit-identical to profiling in batch order.
+        train_sls = uniqueSls(batches);
+        profiler.warmTrainProfiles(train_sls, cfg.profileThreads);
         if (do_eval) {
-            sls.clear();
-            for (const data::Batch &b : eval_batches)
-                sls.push_back(b.seqLen);
-            profiler.warmInferProfiles(sls, cfg.profileThreads);
+            eval_sls = uniqueSls(eval_batches);
+            profiler.warmInferProfiles(eval_sls, cfg.profileThreads);
         }
     }
 
     TrainLog log;
     log.iterations.reserve(batches.size());
 
-    for (const data::Batch &b : batches) {
-        const IterationProfile &p = profiler.profileIteration(b.seqLen);
-        log.iterations.push_back(IterationLog{b.seqLen, p.timeSec});
-        log.trainSec += p.timeSec;
-        log.counters += p.counters;
+    if (replay) {
+        // Unique-SL epoch replay: resolve each unique SL's profile
+        // once into a flat table, then replay the SL schedule as
+        // table lookups. Accumulation visits the same values in the
+        // same (execution) order as the per-iteration path, so the
+        // totals are bit-identical.
+        std::vector<const IterationProfile *> table(train_sls.size());
+        for (std::size_t i = 0; i < train_sls.size(); ++i)
+            table[i] = &profiler.profileIteration(train_sls[i]);
+
+        for (const data::Batch &b : batches) {
+            const IterationProfile &p =
+                *table[slIndex(train_sls, b.seqLen)];
+            log.iterations.push_back(IterationLog{b.seqLen, p.timeSec});
+            log.trainSec += p.timeSec;
+            log.counters += p.counters;
+        }
+
+        if (do_eval) {
+            std::vector<const IterationProfile *> etab(eval_sls.size());
+            for (std::size_t i = 0; i < eval_sls.size(); ++i)
+                etab[i] = &profiler.profileInference(eval_sls[i]);
+            for (const data::Batch &b : eval_batches) {
+                const IterationProfile &p =
+                    *etab[slIndex(eval_sls, b.seqLen)];
+                log.evalSec += p.timeSec * cfg.evalCostMultiplier;
+            }
+        }
+    } else {
+        for (const data::Batch &b : batches) {
+            const IterationProfile &p = profiler.profileIteration(b.seqLen);
+            log.iterations.push_back(IterationLog{b.seqLen, p.timeSec});
+            log.trainSec += p.timeSec;
+            log.counters += p.counters;
+        }
+
+        for (const data::Batch &b : eval_batches) {
+            const IterationProfile &p = profiler.profileInference(b.seqLen);
+            log.evalSec += p.timeSec * cfg.evalCostMultiplier;
+        }
     }
 
-    for (const data::Batch &b : eval_batches) {
-        const IterationProfile &p = profiler.profileInference(b.seqLen);
-        log.evalSec += p.timeSec * cfg.evalCostMultiplier;
-    }
-
-    log.autotuneSec = tuner.tuningCostSec();
+    log.autotuneSec = profiler.autotuner().tuningCostSec() - tune_before;
     return log;
+}
+
+TrainLog
+runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
+                 const data::Dataset &dataset, const TrainConfig &cfg)
+{
+    nn::Autotuner tuner(cfg.tunerMode, &gpu);
+    Profiler profiler(gpu, model, tuner, cfg.batchSize,
+                      cfg.memoizeProfiles);
+    return runTrainingEpoch(profiler, dataset, cfg);
 }
 
 } // namespace prof

@@ -48,6 +48,17 @@ struct TrainConfig {
      * path. Requires memoizeProfiles.
      */
     unsigned profileThreads = 1;
+
+    /**
+     * Unique-SL epoch replay (the paper's per-iteration redundancy
+     * argument applied to the epoch log): profile each unique SL
+     * once, then assemble the log by replaying the SL schedule as
+     * flat-table lookups, turning O(iterations x kernels) work into
+     * O(unique SLs x kernels) + O(iterations). Disabling recovers
+     * the per-iteration memo-probe path; the log is bit-identical
+     * either way. Requires memoizeProfiles.
+     */
+    bool uniqueSlReplay = true;
 };
 
 /** One logged training iteration. */
@@ -87,6 +98,12 @@ struct TrainLog {
 /**
  * Run one training epoch.
  *
+ * Constructs a fresh autotuner and profiler for the run, so every
+ * call re-profiles its unique SLs from scratch (kernel timings still
+ * come from the device's timing cache). Prefer the Profiler overload
+ * when running several epochs or sharing profiles with other
+ * queries.
+ *
  * @param gpu Device to run on.
  * @param model Network to train.
  * @param dataset Dataset supplying sample sequence lengths.
@@ -94,6 +111,27 @@ struct TrainLog {
  * @return The epoch log.
  */
 TrainLog runTrainingEpoch(const sim::Gpu &gpu, const nn::Model &model,
+                          const data::Dataset &dataset,
+                          const TrainConfig &cfg);
+
+/**
+ * Run one training epoch through a caller-owned profiler.
+ *
+ * The profiler's per-SL memo (and its autotuner) persist across
+ * calls, so consecutive epochs -- and any other queries sharing the
+ * profiler -- only pay for sequence lengths they have not seen
+ * before. Iteration logs, times and counters are bit-identical to
+ * the fresh-profiler overload; autotuneSec reports only the tuning
+ * cost newly incurred during this call (a fresh profiler reproduces
+ * the old accounting exactly).
+ *
+ * @param profiler Profiler bound to the device and model; its batch
+ *                 size and memoization mode must match cfg.
+ * @param dataset Dataset supplying sample sequence lengths.
+ * @param cfg Training-run parameters.
+ * @return The epoch log.
+ */
+TrainLog runTrainingEpoch(Profiler &profiler,
                           const data::Dataset &dataset,
                           const TrainConfig &cfg);
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/cache_model.hh"
 
 namespace seqpoint {
 namespace sim {
@@ -85,10 +86,52 @@ double
 replayHitRate(CacheSim &cache, const AccessTrace &trace)
 {
     cache.reset();
-    const std::size_t n = trace.size();
-    for (std::size_t i = 0; i < n; ++i)
-        cache.access(trace.addr(i), trace.isWrite(i));
+    cache.accessBlock(trace, 0, trace.size());
     return cache.stats().hitRate();
+}
+
+StrideSegment
+detectStrideSegment(const AccessTrace &trace)
+{
+    StrideSegment seg;
+    const std::size_t n = trace.size();
+    if (n < 2)
+        return seg;
+
+    uint64_t first = trace.addr(0);
+    if (trace.addr(1) <= first)
+        return seg;
+    uint64_t stride = trace.addr(1) - first;
+    bool write = trace.isWrite(0);
+    if (trace.isWrite(1) != write)
+        return seg;
+
+    for (std::size_t i = 2; i < n; ++i) {
+        if (trace.addr(i) != first + i * stride ||
+            trace.isWrite(i) != write)
+            return seg;
+    }
+
+    seg.uniform = true;
+    seg.firstAddr = first;
+    seg.stride = stride;
+    seg.count = n;
+    seg.write = write;
+    return seg;
+}
+
+CacheStats
+replayStatsFast(CacheSim &cache, const AccessTrace &trace)
+{
+    cache.reset();
+    StrideSegment seg = detectStrideSegment(trace);
+    if (seg.uniform &&
+        analyticStreamApplicable(seg, cache.lineSize())) {
+        return analyticStreamStats(seg, cache.numSets(),
+                                   cache.assocWays(), cache.lineSize());
+    }
+    cache.accessBlock(trace, 0, trace.size());
+    return cache.stats();
 }
 
 } // namespace sim

@@ -117,15 +117,54 @@ double measureHitRate(CacheSim &cache,
 
 /**
  * Replay a recorded trace through a cache and return the hit rate.
- * The replay loop reads the flat buffer directly -- no per-access
- * callback -- so sweeping one trace over many cache geometries costs
- * a contiguous scan each.
+ * Replays through CacheSim::accessBlock, so the whole trace is one
+ * batched scan over the flat buffer.
  *
  * @param cache Cache to exercise (reset first).
  * @param trace Previously recorded access stream.
  * @return Hit rate observed over the whole stream.
  */
 double replayHitRate(CacheSim &cache, const AccessTrace &trace);
+
+/**
+ * A pure streaming segment: every access `firstAddr + i * stride`
+ * with one uniform read/write direction. The shape genStreaming
+ * emits, and the shape the analytic replay path (cache_model.hh)
+ * accounts for in closed form.
+ */
+struct StrideSegment {
+    bool uniform = false;   ///< True when the trace matches the shape.
+    uint64_t firstAddr = 0; ///< Address of the first access.
+    uint64_t stride = 0;    ///< Constant positive byte stride.
+    std::size_t count = 0;  ///< Number of accesses.
+    bool write = false;     ///< Uniform access direction.
+};
+
+/**
+ * Scan a trace for the pure-streaming shape: a constant positive
+ * byte stride and one uniform read/write direction throughout.
+ *
+ * @param trace Recorded access stream.
+ * @return Segment description; uniform == false when the trace does
+ *         not match (including traces with fewer than two accesses).
+ */
+StrideSegment detectStrideSegment(const AccessTrace &trace);
+
+/**
+ * Replay statistics with the stride-analytic fast path.
+ *
+ * When the trace is a pure streaming segment the analytic model
+ * (cache_model.hh) applies, and its hits/misses/evictions are
+ * accounted in closed form without simulating a single address; the
+ * cache is left reset in that case. Otherwise the trace is replayed
+ * through CacheSim::accessBlock. Either way the returned statistics
+ * are identical to an access()-per-entry replay on a reset cache.
+ *
+ * @param cache Cache to exercise (reset first).
+ * @param trace Previously recorded access stream.
+ * @return Statistics of the full replay.
+ */
+CacheStats replayStatsFast(CacheSim &cache, const AccessTrace &trace);
 
 } // namespace sim
 } // namespace seqpoint

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.hh"
 
@@ -62,6 +63,64 @@ evalMemoryBreakdown(const KernelDesc &desc, const GpuConfig &cfg)
     mb.l1HitRate = loads > 0.0 ? h1 : 0.0;
     mb.l2HitRate = h2;
     return mb;
+}
+
+bool
+analyticStreamApplicable(const StrideSegment &seg, unsigned line_bytes)
+{
+    if (!seg.uniform || seg.stride == 0)
+        return false;
+    return seg.stride <= line_bytes || seg.stride % line_bytes == 0;
+}
+
+CacheStats
+analyticStreamStats(const StrideSegment &seg, uint64_t sets,
+                    unsigned assoc, unsigned line_bytes)
+{
+    panic_if(!analyticStreamApplicable(seg, line_bytes),
+             "analyticStreamStats: segment not applicable");
+    panic_if(sets == 0 || assoc == 0,
+             "analyticStreamStats: bad geometry");
+
+    const uint64_t n = seg.count;
+    const uint64_t line = line_bytes;
+
+    // Distinct lines D and the line-address step q. stride <= line
+    // touches every line in [first, last] (step 1); a stride that is
+    // an exact line multiple visits an arithmetic line sequence of n
+    // distinct lines (step stride/line).
+    uint64_t first_line = seg.firstAddr / line;
+    uint64_t q, distinct;
+    if (seg.stride <= line) {
+        uint64_t last_line = (seg.firstAddr + (n - 1) * seg.stride) /
+            line;
+        q = 1;
+        distinct = last_line - first_line + 1;
+    } else {
+        q = seg.stride / line;
+        distinct = n;
+    }
+
+    // Lines land on sets (first_line + j*q) mod sets, which cycles
+    // with period P = sets / gcd(q, sets), visiting P distinct sets
+    // exactly once per period. Each visited set therefore holds
+    // either floor(D/P) or ceil(D/P) of the stream's lines; a set
+    // overflows (and evicts, LRU) only beyond its assoc ways.
+    uint64_t period = sets / std::gcd(q, sets);
+    uint64_t per_set = distinct / period;
+
+    CacheStats s;
+    s.accesses = n;
+    // Line addresses are non-decreasing and each line's accesses are
+    // consecutive, so every access past the first touch of its line
+    // hits, and every distinct line misses exactly once.
+    s.misses = distinct;
+    s.hits = n - distinct;
+    s.evictions = per_set >= assoc ? distinct - period * assoc : 0;
+    // Write-allocate streams leave every installed line dirty, so
+    // each eviction writes back; read streams never dirty a line.
+    s.writebacks = seg.write ? s.evictions : 0;
+    return s;
 }
 
 } // namespace sim

@@ -9,6 +9,8 @@
 #ifndef SEQPOINT_SIM_CACHE_MODEL_HH
 #define SEQPOINT_SIM_CACHE_MODEL_HH
 
+#include "sim/access_gen.hh"
+#include "sim/cache_sim.hh"
 #include "sim/gpu_config.hh"
 #include "sim/kernel.hh"
 
@@ -52,6 +54,39 @@ double capacityHitFraction(double reuse_max, double working_set,
  */
 MemoryBreakdown evalMemoryBreakdown(const KernelDesc &desc,
                                     const GpuConfig &cfg);
+
+/**
+ * Whether the closed-form streaming account applies to a segment on
+ * a cache with the given line size.
+ *
+ * Applicability requires line addresses that advance by a constant
+ * number of lines: stride <= line (consecutive lines) or stride an
+ * exact multiple of the line size (arithmetic line sequence). Other
+ * strides straddle lines unevenly and must be simulated.
+ *
+ * @param seg Detected streaming segment.
+ * @param line_bytes Cache line size.
+ */
+bool analyticStreamApplicable(const StrideSegment &seg,
+                              unsigned line_bytes);
+
+/**
+ * Closed-form cache statistics for a pure streaming segment on a
+ * cold (reset) set-associative LRU cache.
+ *
+ * Because line addresses are non-decreasing and each line's accesses
+ * are consecutive, hits are exactly accesses minus distinct lines,
+ * and evictions follow from the per-set line counts -- no per-address
+ * simulation. The result is bit-identical to the scalar oracle
+ * whenever analyticStreamApplicable() holds.
+ *
+ * @param seg Detected streaming segment (must be applicable).
+ * @param sets Number of cache sets.
+ * @param assoc Ways per set.
+ * @param line_bytes Cache line size.
+ */
+CacheStats analyticStreamStats(const StrideSegment &seg, uint64_t sets,
+                               unsigned assoc, unsigned line_bytes);
 
 } // namespace sim
 } // namespace seqpoint

@@ -8,6 +8,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "sim/access_gen.hh"
 
 namespace seqpoint {
 namespace sim {
@@ -31,7 +32,9 @@ CacheSim::CacheSim(uint64_t size_bytes, unsigned assoc, unsigned line_bytes)
 
     lineShift = static_cast<unsigned>(std::countr_zero(line_bytes));
     sets = size_bytes / (static_cast<uint64_t>(line_bytes) * assoc);
-    lines.assign(sets * assoc, Line{});
+    tags.assign(sets * assoc, 0);
+    lastUse.assign(sets * assoc, 0);
+    flags.assign(sets * assoc, 0);
 }
 
 bool
@@ -43,15 +46,15 @@ CacheSim::access(uint64_t addr, bool write)
     uint64_t line_addr = addr >> lineShift;
     uint64_t set = line_addr % sets;
     uint64_t tag = line_addr / sets;
-
-    Line *base = &lines[set * assoc];
+    std::size_t base = static_cast<std::size_t>(set) * assoc;
 
     // Probe for a hit.
     for (unsigned w = 0; w < assoc; ++w) {
-        Line &ln = base[w];
-        if (ln.valid && ln.tag == tag) {
-            ln.lastUse = useClock;
-            ln.dirty = ln.dirty || write;
+        std::size_t i = base + w;
+        if ((flags[i] & kValid) && tags[i] == tag) {
+            lastUse[i] = useClock;
+            if (write)
+                flags[i] |= kDirty;
             ++stats_.hits;
             return true;
         }
@@ -59,35 +62,115 @@ CacheSim::access(uint64_t addr, bool write)
 
     ++stats_.misses;
 
-    // Choose a victim: an invalid way, else true-LRU.
-    Line *victim = &base[0];
-    for (unsigned w = 0; w < assoc; ++w) {
-        Line &ln = base[w];
-        if (!ln.valid) {
-            victim = &ln;
-            break;
+    // Choose a victim: an invalid way, else true-LRU. Invalid lines
+    // keep lastUse == 0 (valid lines are always >= 1), so a single
+    // first-minimum pass picks the first invalid way when one exists
+    // and the true-LRU way otherwise.
+    std::size_t victim = base;
+    uint64_t victim_use = (flags[base] & kValid) ? lastUse[base] : 0;
+    for (unsigned w = 1; w < assoc; ++w) {
+        std::size_t i = base + w;
+        uint64_t use = (flags[i] & kValid) ? lastUse[i] : 0;
+        if (use < victim_use) {
+            victim = i;
+            victim_use = use;
         }
-        if (ln.lastUse < victim->lastUse)
-            victim = &ln;
     }
 
-    if (victim->valid) {
+    if (flags[victim] & kValid) {
         ++stats_.evictions;
-        if (victim->dirty)
+        if (flags[victim] & kDirty)
             ++stats_.writebacks;
     }
 
-    victim->valid = true;
-    victim->tag = tag;
-    victim->dirty = write;
-    victim->lastUse = useClock;
+    tags[victim] = tag;
+    lastUse[victim] = useClock;
+    flags[victim] = static_cast<uint8_t>(kValid | (write ? kDirty : 0));
     return false;
+}
+
+void
+CacheSim::accessBlock(const AccessTrace &trace, std::size_t begin,
+                      std::size_t end)
+{
+    panic_if(end > trace.size() || begin > end,
+             "accessBlock: bad range [%zu, %zu) of %zu", begin, end,
+             trace.size());
+
+    const uint64_t num_sets = sets;
+    const unsigned ways = assoc;
+    const unsigned shift = lineShift;
+
+    uint64_t clock = useClock;
+    uint64_t n_hits = 0, n_miss = 0, n_evict = 0, n_wb = 0;
+
+    for (std::size_t i = begin; i < end; ++i) {
+        uint64_t addr = trace.addr(i);
+        bool write = trace.isWrite(i);
+        ++clock;
+
+        uint64_t line_addr = addr >> shift;
+        uint64_t set = line_addr % num_sets;
+        uint64_t tag = line_addr / num_sets;
+        std::size_t base = static_cast<std::size_t>(set) * ways;
+
+        // Branchless probe: at most one valid way can carry the tag,
+        // so a full conditional-select scan finds it without early
+        // exits (no per-way branch misprediction on mixed streams).
+        std::size_t hit_way = static_cast<std::size_t>(-1);
+        for (unsigned w = 0; w < ways; ++w) {
+            std::size_t slot = base + w;
+            bool h = (flags[slot] & kValid) && tags[slot] == tag;
+            hit_way = h ? slot : hit_way;
+        }
+
+        if (hit_way != static_cast<std::size_t>(-1)) {
+            lastUse[hit_way] = clock;
+            flags[hit_way] = static_cast<uint8_t>(
+                flags[hit_way] | (write ? kDirty : 0));
+            ++n_hits;
+            continue;
+        }
+
+        ++n_miss;
+
+        // Single-pass victim selection (see access()): invalid ways
+        // present as lastUse 0 and therefore win the first-minimum
+        // scan over any valid way.
+        std::size_t victim = base;
+        uint64_t victim_use = (flags[base] & kValid) ? lastUse[base] : 0;
+        for (unsigned w = 1; w < ways; ++w) {
+            std::size_t slot = base + w;
+            uint64_t use = (flags[slot] & kValid) ? lastUse[slot] : 0;
+            bool better = use < victim_use;
+            victim = better ? slot : victim;
+            victim_use = better ? use : victim_use;
+        }
+
+        uint8_t vf = flags[victim];
+        n_evict += (vf & kValid) ? 1 : 0;
+        n_wb += ((vf & kValid) && (vf & kDirty)) ? 1 : 0;
+
+        tags[victim] = tag;
+        lastUse[victim] = clock;
+        flags[victim] = static_cast<uint8_t>(kValid |
+                                             (write ? kDirty : 0));
+    }
+
+    useClock = clock;
+    stats_.accesses += end - begin;
+    stats_.hits += n_hits;
+    stats_.misses += n_miss;
+    stats_.evictions += n_evict;
+    stats_.writebacks += n_wb;
 }
 
 void
 CacheSim::reset()
 {
-    lines.assign(lines.size(), Line{});
+    tags.assign(tags.size(), 0);
+    lastUse.assign(lastUse.size(), 0);
+    flags.assign(flags.size(), 0);
     useClock = 0;
     stats_ = CacheStats{};
 }

@@ -3,16 +3,27 @@
  * Trace-driven set-associative cache simulator with LRU replacement.
  * Used to validate the analytical cache model's capacity power law and
  * available for detailed single-kernel studies.
+ *
+ * Storage is structure-of-arrays: tags, last-use clocks and
+ * valid/dirty flags live in separate flat arrays indexed by
+ * set * assoc + way, so the batched replay path streams through
+ * contiguous memory instead of hopping across per-line structs.
+ * The scalar access() is the reference oracle; accessBlock() is the
+ * batched replay path and produces bit-identical statistics and
+ * cache state.
  */
 
 #ifndef SEQPOINT_SIM_CACHE_SIM_HH
 #define SEQPOINT_SIM_CACHE_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace seqpoint {
 namespace sim {
+
+class AccessTrace;
 
 /** Hit/miss statistics for a simulated cache. */
 struct CacheStats {
@@ -24,6 +35,9 @@ struct CacheStats {
 
     /** @return hits / accesses; 0 when no accesses. */
     double hitRate() const;
+
+    /** Field-wise equality (used by the batched-vs-scalar tests). */
+    bool operator==(const CacheStats &other) const = default;
 };
 
 /**
@@ -44,13 +58,28 @@ class CacheSim
     CacheSim(uint64_t size_bytes, unsigned assoc, unsigned line_bytes);
 
     /**
-     * Perform one access.
+     * Perform one access (the scalar reference oracle).
      *
      * @param addr Byte address.
      * @param write True for a store (marks the line dirty).
      * @return True on hit.
      */
     bool access(uint64_t addr, bool write);
+
+    /**
+     * Replay trace entries [begin, end) through the cache.
+     *
+     * The batched path probes and updates the SoA arrays with a
+     * branchless hit scan and single-pass victim selection; the
+     * resulting statistics and cache state are bit-identical to
+     * calling access() once per entry.
+     *
+     * @param trace Recorded access stream.
+     * @param begin First trace index to replay.
+     * @param end One past the last trace index to replay.
+     */
+    void accessBlock(const AccessTrace &trace, std::size_t begin,
+                     std::size_t end);
 
     /** Reset contents and statistics. */
     void reset();
@@ -64,21 +93,27 @@ class CacheSim
     /** @return Capacity in bytes. */
     uint64_t sizeBytes() const { return size; }
 
-  private:
-    struct Line {
-        uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        uint64_t lastUse = 0;
-    };
+    /** @return Ways per set. */
+    unsigned assocWays() const { return assoc; }
 
+    /** @return Line size in bytes. */
+    unsigned lineSize() const { return lineBytes; }
+
+  private:
     uint64_t size;
     unsigned assoc;
     unsigned lineBytes;
     unsigned lineShift;
     uint64_t sets;
 
-    std::vector<Line> lines; // sets * assoc, row-major by set
+    // Structure-of-arrays line storage, indexed set * assoc + way.
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> lastUse; ///< 0 for invalid lines.
+    std::vector<uint8_t> flags;    ///< Bit 0: valid, bit 1: dirty.
+
+    static constexpr uint8_t kValid = 1;
+    static constexpr uint8_t kDirty = 2;
+
     uint64_t useClock = 0;
     CacheStats stats_;
 };

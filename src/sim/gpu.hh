@@ -9,6 +9,7 @@
 #ifndef SEQPOINT_SIM_GPU_HH
 #define SEQPOINT_SIM_GPU_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,11 @@ struct KernelRecord {
 struct ExecutionResult {
     double totalSec = 0.0;           ///< Sum of kernel wall times.
     PerfCounters counters;           ///< Summed counters.
+    uint64_t launches = 0;           ///< Kernel launches executed.
+
+    /** Wall time attributed to each kernel class. */
+    std::array<double, numKernelClasses> classSec{};
+
     std::vector<KernelRecord> records; ///< Per-kernel records
                                        ///< (empty unless detailed).
 };
@@ -90,7 +96,23 @@ class Gpu
     KernelRecord execute(const KernelDesc &desc) const;
 
     /**
+     * Execute one kernel and fold it into an aggregate result
+     * without materialising a KernelRecord (no name copy, no record
+     * allocation). The accumulation order and arithmetic match
+     * execute() exactly, so aggregate results are bit-identical to
+     * the record-keeping path.
+     *
+     * @param desc Kernel descriptor.
+     * @param result Aggregate to accumulate into.
+     */
+    void accumulate(const KernelDesc &desc, ExecutionResult &result) const;
+
+    /**
      * Execute a sequence of kernels.
+     *
+     * With keep_records == false the records-free accumulation path
+     * is used: no KernelRecord (and no kernel-name std::string) is
+     * constructed per launch, only the aggregates are updated.
      *
      * @param kernels Launch-ordered kernel descriptors.
      * @param keep_records Retain per-kernel records (memory-heavy;

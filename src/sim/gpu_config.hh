@@ -96,6 +96,22 @@ struct GpuConfig {
     /** @return True when the L2 cache is present. */
     bool hasL2() const { return l2SizeBytes > 0; }
 
+    /**
+     * Full configuration signature: the name plus every parameter,
+     * rendered losslessly. Two configurations compare equal under
+     * this string exactly when every field matches (i.e. exactly
+     * when operator== holds), so it is a correct external key for
+     * per-configuration artifacts.
+     */
+    std::string signature() const;
+
+    /**
+     * Field-wise equality over every parameter. The name alone is
+     * NOT sufficient identity: per-configuration state keyed by it
+     * silently aliases differently-parameterised configs.
+     */
+    bool operator==(const GpuConfig &other) const = default;
+
     /** Baseline: 1.6 GHz, 64 CUs, 16 KB L1, 4 MB L2 (Table II #1). */
     static GpuConfig config1();
 

@@ -52,6 +52,38 @@ TEST(Experiment, EpochLogMemoized)
     EXPECT_EQ(&a, &b);
 }
 
+TEST(Experiment, SameNameDifferentParamsDoNotAliasState)
+{
+    // Regression: per-config state used to key on the name alone, so
+    // two configs sharing a name silently shared one ConfigState.
+    Experiment exp(makeDs2Workload(29));
+    sim::GpuConfig fast = sim::GpuConfig::config1();
+    sim::GpuConfig slow = sim::GpuConfig::config2();
+    slow.name = fast.name; // same name, half the clock
+
+    EXPECT_NE(fast.signature(), slow.signature());
+
+    double t_fast = exp.actualTrainSec(fast);
+    double t_slow = exp.actualTrainSec(slow);
+    EXPECT_GT(t_slow, t_fast * 1.2);
+
+    // And the logs are distinct memo entries, not one shared state.
+    EXPECT_NE(&exp.epochLog(fast), &exp.epochLog(slow));
+}
+
+TEST(Experiment, MemoizeToggleAfterStateCreationStillRuns)
+{
+    // Knobs do not retrofit existing per-config state (header
+    // contract): toggling memoization between queries must keep the
+    // state's frozen mode rather than abort on a mismatch.
+    Experiment exp(makeDs2Workload(31));
+    auto cfg = sim::GpuConfig::config1();
+    double t = exp.iterTime(cfg, 40); // freezes memoizing state
+    EXPECT_GT(t, 0.0);
+    exp.setMemoizeProfiles(false);
+    EXPECT_GT(exp.actualTrainSec(cfg), 0.0);
+}
+
 TEST(Experiment, EpochScaleMatchesPaperSetup)
 {
     auto cfg = sim::GpuConfig::config1();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the parallel experiment scheduler: the parallel sweep
+ * must be byte-identical to the serial sweep, merge order must be
+ * deterministic, and cells must be isolated from one another.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/scheduler.hh"
+
+namespace seqpoint {
+namespace harness {
+namespace {
+
+std::vector<WorkloadFactory>
+threeWorkloads()
+{
+    return {[] { return makeGnmtWorkload(); },
+            [] { return makeDs2Workload(); },
+            [] { return makeCnnWorkload(); }};
+}
+
+std::vector<sim::GpuConfig>
+fourConfigs()
+{
+    return {sim::GpuConfig::config1(), sim::GpuConfig::config2(),
+            sim::GpuConfig::config3(), sim::GpuConfig::config4()};
+}
+
+void
+expectCellsIdentical(const std::vector<EpochCellResult> &a,
+                     const std::vector<EpochCellResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload) << "cell " << i;
+        EXPECT_EQ(a[i].config, b[i].config) << "cell " << i;
+        EXPECT_EQ(a[i].iterations, b[i].iterations) << "cell " << i;
+        EXPECT_EQ(a[i].trainSec, b[i].trainSec) << "cell " << i;
+        EXPECT_EQ(a[i].evalSec, b[i].evalSec) << "cell " << i;
+        EXPECT_EQ(a[i].throughput, b[i].throughput) << "cell " << i;
+        EXPECT_EQ(a[i].counters.busySec, b[i].counters.busySec)
+            << "cell " << i;
+        EXPECT_EQ(a[i].counters.dramBytes, b[i].counters.dramBytes)
+            << "cell " << i;
+        EXPECT_EQ(a[i].counters.kernelsLaunched,
+                  b[i].counters.kernelsLaunched) << "cell " << i;
+    }
+}
+
+TEST(ExperimentScheduler, ParallelSweepByteIdenticalToSerial)
+{
+    // The acceptance sweep: 3 workloads x 4 configs, serial vs
+    // parallel schedulers, every cell field bit-identical.
+    auto workloads = threeWorkloads();
+    auto configs = fourConfigs();
+
+    ExperimentScheduler serial(1);
+    ExperimentScheduler parallel(4);
+
+    auto a = serial.epochSweep(workloads, configs);
+    auto b = parallel.epochSweep(workloads, configs);
+    ASSERT_EQ(a.size(), 12u);
+    expectCellsIdentical(a, b);
+}
+
+TEST(ExperimentScheduler, MatchesDirectSerialExperimentLoop)
+{
+    auto configs = fourConfigs();
+    ExperimentScheduler sched(4);
+    auto cells = sched.epochSweep({[] { return makeDs2Workload(); }},
+                                  configs);
+    ASSERT_EQ(cells.size(), configs.size());
+
+    Experiment exp(makeDs2Workload());
+    exp.setProfileThreads(1);
+    for (size_t c = 0; c < configs.size(); ++c) {
+        const prof::TrainLog &log = exp.epochLog(configs[c]);
+        EXPECT_EQ(cells[c].trainSec, log.trainSec) << configs[c].name;
+        EXPECT_EQ(cells[c].iterations, log.numIterations());
+        EXPECT_EQ(cells[c].throughput,
+                  log.throughput(exp.workload().batchSize));
+    }
+}
+
+TEST(ExperimentScheduler, MergeOrderIsWorkloadMajorConfigMinor)
+{
+    auto cells = ExperimentScheduler(4).epochSweep(
+        {[] { return makeCnnWorkload(); },
+         [] { return makeDs2Workload(); }},
+        {sim::GpuConfig::config1(), sim::GpuConfig::config2()});
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].workload, "CNN");
+    EXPECT_EQ(cells[0].config, "config#1");
+    EXPECT_EQ(cells[1].workload, "CNN");
+    EXPECT_EQ(cells[1].config, "config#2");
+    EXPECT_EQ(cells[2].workload, "DS2");
+    EXPECT_EQ(cells[2].config, "config#1");
+    EXPECT_EQ(cells[3].workload, "DS2");
+    EXPECT_EQ(cells[3].config, "config#2");
+}
+
+TEST(ExperimentScheduler, MapCellsCustomEvaluation)
+{
+    ExperimentScheduler sched(2);
+    std::function<double(Experiment &, const sim::GpuConfig &)> eval =
+        [](Experiment &exp, const sim::GpuConfig &cfg) {
+            return exp.iterTime(cfg, 40);
+        };
+    auto times = sched.mapCells<double>(
+        {[] { return makeGnmtWorkload(); }},
+        {sim::GpuConfig::config1(), sim::GpuConfig::config2()}, eval);
+    ASSERT_EQ(times.size(), 2u);
+    // The downclocked config must be slower at the same SL.
+    EXPECT_GT(times[1], times[0]);
+}
+
+TEST(ExperimentScheduler, EmptyGridIsEmptyResult)
+{
+    ExperimentScheduler sched(4);
+    EXPECT_TRUE(sched.epochSweep({}, fourConfigs()).empty());
+    EXPECT_TRUE(sched.epochSweep(threeWorkloads(), {}).empty());
+}
+
+TEST(ExperimentScheduler, DefaultThreadsPositive)
+{
+    EXPECT_GE(ExperimentScheduler().threads(), 1u);
+}
+
+} // anonymous namespace
+} // namespace harness
+} // namespace seqpoint
