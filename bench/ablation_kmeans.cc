@@ -35,7 +35,7 @@ emit(harness::Experiment &exp)
                     exp.projectedTrainSec(sel, cfg),
                     exp.actualTrainSec(cfg)));
             }
-            return geomean(errs);
+            return geomean(errs, bench::kErrorGeomeanFloor);
         };
 
         table.addRow({csprintf("%u", k),

@@ -22,7 +22,7 @@ crossConfigGeomean(harness::Experiment &exp, const core::SeqPointSet &sel)
         errs.push_back(core::timeErrorPercent(
             exp.projectedTrainSec(sel, cfg), exp.actualTrainSec(cfg)));
     }
-    return geomean(errs);
+    return geomean(errs, bench::kErrorGeomeanFloor);
 }
 
 void

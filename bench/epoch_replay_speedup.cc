@@ -22,6 +22,14 @@
  * 3-workload x 4-config sweep and checks the parallel merge is
  * byte-identical to the serial sweep.
  *
+ * Part 3 measures the scheduler-backed figure pipeline: producing
+ * the DS2 figure pair (the Fig 11 time-error grid and the Fig 15
+ * speedup-error grid) serially -- one cold Experiment per figure,
+ * exactly as the serial fig benches pay for it -- versus one
+ * snapshot-shared scheduler pass that yields both grids. The
+ * scheduled sweep must be byte-identical to the serial one and, on
+ * multi-core hosts, >= 2x faster.
+ *
  * Results are written to a JSON report (default BENCH_epoch.json,
  * argv[1] overrides); the process fails if any gate is missed.
  */
@@ -96,27 +104,11 @@ runSweep(const harness::Workload &wl, unsigned epochs, Engine engine,
     return res;
 }
 
-/** Bit-exact comparison of all counter fields. */
-bool
-countersIdentical(const sim::PerfCounters &ca,
-                  const sim::PerfCounters &cb)
-{
-    return ca.kernelsLaunched == cb.kernelsLaunched &&
-        ca.valuInsts == cb.valuInsts &&
-        ca.saluInsts == cb.saluInsts &&
-        ca.bytesLoaded == cb.bytesLoaded &&
-        ca.bytesStored == cb.bytesStored &&
-        ca.l1HitBytes == cb.l1HitBytes &&
-        ca.l2HitBytes == cb.l2HitBytes &&
-        ca.dramBytes == cb.dramBytes &&
-        ca.writeStallSec == cb.writeStallSec &&
-        ca.busySec == cb.busySec && ca.launchSec == cb.launchSec;
-}
-
 /**
- * Bit-exact comparison of iteration logs, times and counters.
- * autotuneSec is excluded: the persistent engines legitimately pay
- * the one-time tuning cost once instead of once per epoch.
+ * Bit-exact comparison of iteration logs, times and counters
+ * (TrainLog::identicalTo; autotuneSec is excluded -- the persistent
+ * engines legitimately pay the one-time tuning cost once instead of
+ * once per epoch).
  */
 bool
 sweepsIdentical(const SweepResult &a, const SweepResult &b)
@@ -124,17 +116,8 @@ sweepsIdentical(const SweepResult &a, const SweepResult &b)
     if (a.logs.size() != b.logs.size())
         return false;
     for (size_t e = 0; e < a.logs.size(); ++e) {
-        const prof::TrainLog &la = a.logs[e];
-        const prof::TrainLog &lb = b.logs[e];
-        if (la.numIterations() != lb.numIterations() ||
-            la.trainSec != lb.trainSec || la.evalSec != lb.evalSec ||
-            !countersIdentical(la.counters, lb.counters))
+        if (!a.logs[e].identicalTo(b.logs[e]))
             return false;
-        for (size_t i = 0; i < la.iterations.size(); ++i) {
-            if (la.iterations[i].seqLen != lb.iterations[i].seqLen ||
-                la.iterations[i].timeSec != lb.iterations[i].timeSec)
-                return false;
-        }
     }
     return true;
 }
@@ -162,7 +145,7 @@ cellsIdentical(const std::vector<harness::EpochCellResult> &a,
             a[i].trainSec != b[i].trainSec ||
             a[i].evalSec != b[i].evalSec ||
             a[i].throughput != b[i].throughput ||
-            !countersIdentical(a[i].counters, b[i].counters))
+            !(a[i].counters == b[i].counters))
             return false;
     }
     return true;
@@ -260,6 +243,53 @@ main(int argc, char **argv)
                 sweep_identical ? "yes" : "NO -- BUG");
 
     // ------------------------------------------------------------------
+    // Part 3: scheduler-backed figure pipeline (DS2 figs 11 + 15).
+    // ------------------------------------------------------------------
+    auto make_ds2 = [] { return harness::makeDs2Workload(); };
+
+    // Serial baseline: each figure bench pays its own full cold start
+    // (one fresh Experiment per binary), so producing the DS2 figure
+    // pair costs two complete 5-config sweeps.
+    t0 = now();
+    harness::FigureSweep fig_time = harness::runFigureSweepSerial(
+        make_ds2);
+    harness::FigureSweep fig_speedup = harness::runFigureSweepSerial(
+        make_ds2);
+    double fig_serial_sec = now() - t0;
+
+    // Scheduler pipeline: one snapshot-shared pass yields both grids.
+    t0 = now();
+    harness::FigureSweep fig_sched = harness::runFigureSweepScheduled(
+        make_ds2, threads);
+    double fig_sched_sec = now() - t0;
+
+    bool fig_identical = fig_sched.identicalTo(fig_time) &&
+        fig_sched.identicalTo(fig_speedup);
+    double sp_fig = fig_serial_sec / fig_sched_sec;
+
+    // Speedup floor: >= 2x on multi-core hosts; the snapshot saves
+    // one of the pair's two cold starts even with a single core, but
+    // the remaining margin there is scheduling, so single-core
+    // runners gate at the work-sharing floor (1.5x) instead. The
+    // floor is exported in the JSON so the CI guard applies the same
+    // contract.
+    double fig_floor =
+        std::thread::hardware_concurrency() > 1 ? 2.0 : 1.5;
+
+    Table fig({"figure pipeline (DS2 figs 11+15)", "wall time",
+               "speedup"});
+    fig.addRow({"serial (one Experiment per figure)",
+                csprintf("%.3fs", fig_serial_sec), "1.0x"});
+    fig.addRow({csprintf("scheduler + snapshot (%u threads)", threads),
+                csprintf("%.3fs", fig_sched_sec),
+                csprintf("%.1fx", sp_fig)});
+    std::printf("%s\n", fig.render(
+        "Figure pipeline: serial pair vs snapshot-shared scheduler "
+        "pass").c_str());
+    std::printf("figure sweep byte-identical to serial pipeline: %s\n\n",
+                fig_identical ? "yes" : "NO -- BUG");
+
+    // ------------------------------------------------------------------
     // JSON report.
     // ------------------------------------------------------------------
     FILE *f = std::fopen(json_path, "w");
@@ -292,6 +322,18 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"speedup\": %.2f,\n", sp_sched);
     std::fprintf(f, "    \"identical\": %s\n",
                  sweep_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"fig_sweep\": {\n");
+    std::fprintf(f, "    \"workload\": \"DS2\",\n");
+    std::fprintf(f, "    \"figures\": \"fig11+fig15\",\n");
+    std::fprintf(f, "    \"configs\": 5,\n");
+    std::fprintf(f, "    \"threads\": %u,\n", threads);
+    std::fprintf(f, "    \"serial_sec\": %.6f,\n", fig_serial_sec);
+    std::fprintf(f, "    \"scheduled_sec\": %.6f,\n", fig_sched_sec);
+    std::fprintf(f, "    \"speedup\": %.2f,\n", sp_fig);
+    std::fprintf(f, "    \"speedup_floor\": %.2f,\n", fig_floor);
+    std::fprintf(f, "    \"identical\": %s\n",
+                 fig_identical ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -308,6 +350,15 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: replay speedup %.2fx (need >= 5x), "
                      "identical=%d, scheduler identical=%d\n", best,
                      identical, sweep_identical);
+        return 1;
+    }
+
+    // Figure-pipeline contract: byte-identity always; speedup at or
+    // above the host's floor (computed above, exported in the JSON).
+    if (!fig_identical || sp_fig < fig_floor) {
+        std::fprintf(stderr, "FAIL: figure-pipeline speedup %.2fx "
+                     "(need >= %.1fx), identical=%d\n", sp_fig,
+                     fig_floor, fig_identical);
         return 1;
     }
     return 0;

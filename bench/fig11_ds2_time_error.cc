@@ -1,7 +1,10 @@
 /**
  * @file
  * Regenerates Fig 11: error in projecting DS2's total training time,
- * per selector, across the five Table II configurations.
+ * per selector, across the five Table II configurations. The
+ * (selector x config) grid runs on the scheduler-backed figure
+ * pipeline (--serial recovers the legacy single-Experiment path;
+ * --verify-serial asserts byte-identity between the two).
  */
 
 #include "support.hh"
@@ -9,10 +12,12 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeDs2Workload());
-    double geo = bench::printTimeErrorFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    harness::FigureSweep sweep = bench::runFigureSweep(
+        [] { return harness::makeDs2Workload(); }, opts);
+    double geo = bench::printTimeErrorFigure(sweep,
         "Fig 11: error in total training time projections for DS2");
     bench::paperNote(csprintf(
         "paper geomean for SeqPoint: 0.11%%; measured here: %.2f%%. "

@@ -1,7 +1,8 @@
 /**
  * @file
  * Regenerates Fig 12: error in projecting GNMT's total training time,
- * per selector, across the five Table II configurations.
+ * per selector, across the five Table II configurations, via the
+ * scheduler-backed figure pipeline (see fig11).
  */
 
 #include "support.hh"
@@ -9,10 +10,12 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeGnmtWorkload());
-    double geo = bench::printTimeErrorFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    harness::FigureSweep sweep = bench::runFigureSweep(
+        [] { return harness::makeGnmtWorkload(); }, opts);
+    double geo = bench::printTimeErrorFigure(sweep,
         "Fig 12: error in total training time projections for GNMT");
     bench::paperNote(csprintf(
         "paper geomean for SeqPoint: 0.53%%; measured here: %.2f%%. "

@@ -1,7 +1,8 @@
 /**
  * @file
  * Regenerates Fig 13: GNMT's per-SL throughput-uplift sensitivity to
- * GCLK (#2->#1), CU count (#3->#1), L1 (#4->#1) and L2 (#5->#1).
+ * GCLK (#2->#1), CU count (#3->#1), L1 (#4->#1) and L2 (#5->#1),
+ * with one scheduler cell per configuration (see fig11 for flags).
  */
 
 #include "support.hh"
@@ -9,12 +10,13 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeGnmtWorkload());
-    bench::printSensitivityFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    bench::printSensitivityFigure(
+        [] { return harness::makeGnmtWorkload(); },
         "Fig 13: per-SL sensitivity of GNMT iterations (uplift of "
-        "config #1 over each variant)", 10, 210, 10);
+        "config #1 over each variant)", 10, 210, 10, opts);
     bench::paperNote("uplift varies by up to ~30 points across SLs "
                      "for GNMT; different SLs are differently "
                      "sensitive to each feature.");

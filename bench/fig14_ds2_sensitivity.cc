@@ -3,28 +3,37 @@
  * Regenerates Fig 14: DS2's per-SL throughput-uplift sensitivity,
  * including the O1 region (where Prior's contiguous window falls in
  * the sorted first epoch) and the wider constant-uplift region O2.
+ * The sensitivity grid runs one scheduler cell per configuration
+ * (see fig11 for flags).
  */
 
 #include <cstdio>
 
-#include "harness/experiment.hh"
+#include "profiler/trainer.hh"
 #include "support.hh"
 
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeDs2Workload());
-    bench::printSensitivityFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto make = [] { return harness::makeDs2Workload(); };
+    bench::printSensitivityFigure(make,
         "Fig 14: per-SL sensitivity of DS2 iterations (uplift of "
-        "config #1 over each variant)", 60, 440, 20);
+        "config #1 over each variant)", 60, 440, 20, opts);
 
     // Locate prior's window (O1): iterations 300..349 of the sorted
-    // epoch.
-    auto samples = exp.epochSamples(sim::GpuConfig::config1());
-    int64_t o1_lo = samples[300].seqLen;
-    int64_t o1_hi = samples[349].seqLen;
+    // epoch. The SL schedule is a pure function of the batching
+    // setup, so no epoch needs to be simulated for this.
+    harness::Workload wl = make();
+    prof::TrainConfig tc;
+    tc.batchSize = wl.batchSize;
+    tc.policy = wl.policy;
+    tc.seed = wl.seed;
+    auto schedule = prof::epochBatchSchedule(wl.dataset, tc);
+    int64_t o1_lo = schedule[300].seqLen;
+    int64_t o1_hi = schedule[349].seqLen;
     std::printf("O1 (prior's window, iterations 300-349 of the sorted "
                 "epoch): SL in [%lld, %lld]\n",
                 (long long)o1_lo, (long long)o1_hi);

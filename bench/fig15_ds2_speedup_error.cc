@@ -1,7 +1,8 @@
 /**
  * @file
  * Regenerates Fig 15: error (percentage points) in projecting DS2's
- * throughput uplift between config pairs, per selector.
+ * throughput uplift between config pairs, per selector, via the
+ * scheduler-backed figure pipeline (see fig11).
  */
 
 #include "support.hh"
@@ -9,10 +10,12 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeDs2Workload());
-    double geo = bench::printSpeedupErrorFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    harness::FigureSweep sweep = bench::runFigureSweep(
+        [] { return harness::makeDs2Workload(); }, opts);
+    double geo = bench::printSpeedupErrorFigure(sweep,
         "Fig 15: error in performance speedup projections for DS2");
     bench::paperNote(csprintf(
         "paper geomean for SeqPoint: 0.13pp; measured here: %.2fpp. "

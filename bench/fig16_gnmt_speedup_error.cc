@@ -1,7 +1,8 @@
 /**
  * @file
  * Regenerates Fig 16: error (percentage points) in projecting GNMT's
- * throughput uplift between config pairs, per selector.
+ * throughput uplift between config pairs, per selector, via the
+ * scheduler-backed figure pipeline (see fig11).
  */
 
 #include "support.hh"
@@ -9,10 +10,12 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::Experiment exp(harness::makeGnmtWorkload());
-    double geo = bench::printSpeedupErrorFigure(exp,
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    harness::FigureSweep sweep = bench::runFigureSweep(
+        [] { return harness::makeGnmtWorkload(); }, opts);
+    double geo = bench::printSpeedupErrorFigure(sweep,
         "Fig 16: error in performance speedup projections for GNMT");
     bench::paperNote(csprintf(
         "paper geomean for SeqPoint: 1.50pp; measured here: %.2fpp. "

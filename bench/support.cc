@@ -6,6 +6,8 @@
 #include "support.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/stats_math.hh"
 #include "common/strutil.hh"
@@ -14,43 +16,113 @@
 namespace seqpoint {
 namespace bench {
 
-const std::vector<core::SelectorKind> &
-selectorOrder()
+FigOptions
+parseFigArgs(int argc, char **argv)
 {
-    static const std::vector<core::SelectorKind> order = {
-        core::SelectorKind::Worst, core::SelectorKind::Frequent,
-        core::SelectorKind::Median, core::SelectorKind::Prior,
-        core::SelectorKind::SeqPoint,
-    };
-    return order;
+    FigOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serial") == 0) {
+            opts.serial = true;
+        } else if (std::strcmp(argv[i], "--verify-serial") == 0) {
+            opts.verifySerial = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            unsigned long n = std::strtoul(arg, &end, 10);
+            if (end == arg || *end != '\0' || arg[0] == '-' ||
+                n > 1024) {
+                std::fprintf(stderr, "--threads: expected a count in "
+                             "[0, 1024], got '%s'\n", arg);
+                std::exit(2);
+            }
+            opts.threads = static_cast<unsigned>(n);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--serial] "
+                         "[--verify-serial]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opts.serial && opts.verifySerial) {
+        std::fprintf(stderr, "--serial and --verify-serial are "
+                     "mutually exclusive: --verify-serial runs the "
+                     "scheduler pipeline and checks it against the "
+                     "serial one\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+namespace {
+
+/**
+ * Shared --serial/--verify-serial dispatch: run the scheduled sweep
+ * (or the serial one under --serial), and under --verify-serial also
+ * run the serial pipeline and exit(1) unless byte-identical.
+ */
+template <typename Sweep, typename RunScheduled, typename RunSerial>
+Sweep
+runVerifiedSweep(const FigOptions &opts, const char *what,
+                 RunScheduled scheduled, RunSerial serial)
+{
+    if (opts.serial)
+        return serial();
+
+    Sweep sweep = scheduled();
+    if (opts.verifySerial) {
+        Sweep ref = serial();
+        if (!sweep.identicalTo(ref)) {
+            std::fprintf(stderr, "FAIL: scheduler-backed %s sweep is "
+                         "not byte-identical to the serial pipeline\n",
+                         what);
+            std::exit(1);
+        }
+        std::printf("verify: scheduler sweep byte-identical to the "
+                    "serial pipeline\n");
+    }
+    return sweep;
+}
+
+} // anonymous namespace
+
+harness::FigureSweep
+runFigureSweep(const harness::WorkloadFactory &make,
+               const FigOptions &opts)
+{
+    return runVerifiedSweep<harness::FigureSweep>(
+        opts, "figure",
+        [&] { return harness::runFigureSweepScheduled(make,
+                                                      opts.threads); },
+        [&] { return harness::runFigureSweepSerial(
+                  make, opts.serial ? opts.threads : 0); });
 }
 
 double
-printTimeErrorFigure(harness::Experiment &exp, const std::string &caption)
+printTimeErrorFigure(const harness::FigureSweep &sweep,
+                     const std::string &caption)
 {
-    auto cfgs = sim::GpuConfig::table2();
-    auto sels = exp.buildAllSelections(cfgs[0]);
-
     std::vector<std::string> headers{"selector"};
-    for (const auto &cfg : cfgs)
-        headers.push_back(cfg.name);
+    for (const auto &col : sweep.columns)
+        headers.push_back(col.config);
     headers.push_back("geomean");
     headers.push_back("points");
     Table table(std::move(headers));
 
+    const auto &order = harness::selectorOrder();
     double seqpoint_geo = 0.0;
-    for (core::SelectorKind kind : selectorOrder()) {
-        const core::SeqPointSet &sel = sels.at(kind);
+    for (size_t s = 0; s < order.size(); ++s) {
+        core::SelectorKind kind = order[s];
+        const core::SeqPointSet &sel = sweep.selections.at(kind);
         std::vector<std::string> row{core::selectorName(kind)};
         std::vector<double> errs;
-        for (const auto &cfg : cfgs) {
-            double err = core::timeErrorPercent(
-                exp.projectedTrainSec(sel, cfg),
-                exp.actualTrainSec(cfg));
+        for (const auto &col : sweep.columns) {
+            double err = core::timeErrorPercent(col.projectedSec[s],
+                                                col.actualSec);
             errs.push_back(err);
             row.push_back(csprintf("%.2f%%", err));
         }
-        double geo = geomean(errs);
+        double geo = geomean(errs, kErrorGeomeanFloor);
         if (kind == core::SelectorKind::SeqPoint)
             seqpoint_geo = geo;
         row.push_back(csprintf("%.2f%%", geo));
@@ -60,7 +132,8 @@ printTimeErrorFigure(harness::Experiment &exp, const std::string &caption)
 
     std::printf("%s\n", table.render(caption).c_str());
 
-    const core::SeqPointSet &sp = sels.at(core::SelectorKind::SeqPoint);
+    const core::SeqPointSet &sp =
+        sweep.selections.at(core::SelectorKind::SeqPoint);
     std::printf("seqpoint: %zu points, %u bins, converged=%s, "
                 "self-error=%.3f%%\n",
                 sp.points.size(), sp.binsUsed,
@@ -69,35 +142,33 @@ printTimeErrorFigure(harness::Experiment &exp, const std::string &caption)
 }
 
 double
-printSpeedupErrorFigure(harness::Experiment &exp,
+printSpeedupErrorFigure(const harness::FigureSweep &sweep,
                         const std::string &caption)
 {
-    auto cfgs = sim::GpuConfig::table2();
-    auto sels = exp.buildAllSelections(cfgs[0]);
-
     std::vector<std::string> headers{"selector"};
-    for (size_t i = 1; i < cfgs.size(); ++i)
-        headers.push_back(cfgs[i].name + "->#1");
+    for (size_t i = 1; i < sweep.columns.size(); ++i)
+        headers.push_back(sweep.columns[i].config + "->#1");
     headers.push_back("geomean");
     Table table(std::move(headers));
 
-    double at1 = exp.actualThroughput(cfgs[0]);
+    double at1 = sweep.columns[0].actualThroughput;
+    const auto &order = harness::selectorOrder();
     double seqpoint_geo = 0.0;
-    for (core::SelectorKind kind : selectorOrder()) {
-        const core::SeqPointSet &sel = sels.at(kind);
+    for (size_t s = 0; s < order.size(); ++s) {
+        core::SelectorKind kind = order[s];
         std::vector<std::string> row{core::selectorName(kind)};
         std::vector<double> errs;
-        double pt1 = exp.projectedThroughput(sel, cfgs[0]);
-        for (size_t i = 1; i < cfgs.size(); ++i) {
-            double atx = exp.actualThroughput(cfgs[i]);
-            double ptx = exp.projectedThroughput(sel, cfgs[i]);
+        double pt1 = sweep.columns[0].projectedThroughput[s];
+        for (size_t i = 1; i < sweep.columns.size(); ++i) {
+            double atx = sweep.columns[i].actualThroughput;
+            double ptx = sweep.columns[i].projectedThroughput[s];
             double err = core::upliftErrorPoints(
                 core::upliftPercent(ptx, pt1),
                 core::upliftPercent(atx, at1));
             errs.push_back(err);
             row.push_back(csprintf("%.2fpp", err));
         }
-        double geo = geomean(errs);
+        double geo = geomean(errs, kErrorGeomeanFloor);
         if (kind == core::SelectorKind::SeqPoint)
             seqpoint_geo = geo;
         row.push_back(csprintf("%.2fpp", geo));
@@ -107,44 +178,42 @@ printSpeedupErrorFigure(harness::Experiment &exp,
     std::printf("%s\n", table.render(caption).c_str());
 
     std::printf("actual uplifts vs config#1:");
-    for (size_t i = 1; i < cfgs.size(); ++i) {
-        std::printf(" %s:%.1f%%", cfgs[i].name.c_str(),
-                    core::upliftPercent(exp.actualThroughput(cfgs[i]),
-                                        at1));
+    for (size_t i = 1; i < sweep.columns.size(); ++i) {
+        std::printf(" %s:%.1f%%", sweep.columns[i].config.c_str(),
+                    core::upliftPercent(
+                        sweep.columns[i].actualThroughput, at1));
     }
     std::printf("\n");
     return seqpoint_geo;
 }
 
 void
-printSensitivityFigure(harness::Experiment &exp,
+printSensitivityFigure(const harness::WorkloadFactory &make,
                        const std::string &caption, int64_t sl_lo,
-                       int64_t sl_hi, int64_t step)
+                       int64_t sl_hi, int64_t step,
+                       const FigOptions &opts)
 {
-    auto cfgs = sim::GpuConfig::table2();
-    unsigned batch = exp.workload().batchSize;
+    harness::SensitivitySweep sweep =
+        runVerifiedSweep<harness::SensitivitySweep>(
+            opts, "sensitivity",
+            [&] { return harness::runSensitivitySweepScheduled(
+                      make, sl_lo, sl_hi, step, opts.threads); },
+            [&] { return harness::runSensitivitySweepSerial(
+                      make, sl_lo, sl_hi, step,
+                      opts.serial ? opts.threads : 0); });
 
     std::vector<std::string> headers{"SL"};
-    for (size_t i = 1; i < cfgs.size(); ++i)
-        headers.push_back(cfgs[i].name + "->#1 uplift");
+    for (size_t i = 1; i < sweep.configs.size(); ++i)
+        headers.push_back(sweep.configs[i] + "->#1 uplift");
     Table table(std::move(headers));
 
-    // Warm the whole SL sweep per configuration on the thread pool
-    // before the serial table assembly below.
-    std::vector<int64_t> sweep;
-    for (int64_t sl = sl_lo; sl <= sl_hi; sl += step)
-        sweep.push_back(sl);
-    for (const auto &cfg : cfgs)
-        exp.warmIterProfiles(cfg, sweep);
-
-    for (int64_t sl = sl_lo; sl <= sl_hi; sl += step) {
+    double batch = static_cast<double>(sweep.batchSize);
+    for (size_t s = 0; s < sweep.sls.size(); ++s) {
         std::vector<std::string> row{csprintf("%lld",
-            static_cast<long long>(sl))};
-        double thr1 = static_cast<double>(batch) /
-            exp.iterTime(cfgs[0], sl);
-        for (size_t i = 1; i < cfgs.size(); ++i) {
-            double thrx = static_cast<double>(batch) /
-                exp.iterTime(cfgs[i], sl);
+            static_cast<long long>(sweep.sls[s]))};
+        double thr1 = batch / sweep.iterSec[0][s];
+        for (size_t i = 1; i < sweep.configs.size(); ++i) {
+            double thrx = batch / sweep.iterSec[i][s];
             row.push_back(csprintf("%.1f%%",
                 core::upliftPercent(thrx, thr1)));
         }

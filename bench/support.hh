@@ -1,8 +1,11 @@
 /**
  * @file
- * Shared helpers for the paper-figure bench binaries: the selector
- * grids behind Figs 11/12 and 15/16, the per-SL sensitivity sweeps of
- * Figs 13/14, and small formatting utilities.
+ * Shared helpers for the paper-figure bench binaries: command-line
+ * options for the scheduler-backed figure pipeline, renderers for the
+ * Figs 11/12 and 15/16 grids and the Figs 13/14 sensitivity series,
+ * and small formatting utilities. The grids themselves are computed
+ * by harness/figures.hh -- serially or as ExperimentScheduler cells
+ * sharing one ModelSnapshot cold start, byte-identical either way.
  */
 
 #ifndef SEQPOINT_BENCH_SUPPORT_HH
@@ -13,50 +16,85 @@
 
 #include "common/stats_math.hh"
 #include "common/strutil.hh"
-#include "harness/experiment.hh"
+#include "harness/figures.hh"
 
 namespace seqpoint {
 namespace bench {
 
-/** Selector order used in every figure. */
-const std::vector<core::SelectorKind> &selectorOrder();
+/**
+ * Geomean floor for error aggregation: half the figures' printed
+ * resolution ("%.2f"), so a selector that lands exactly on the
+ * actual for one configuration (0% error there) contributes "below
+ * measurable" instead of collapsing its whole geomean to ~0.
+ */
+constexpr double kErrorGeomeanFloor = 0.005;
+
+/** Command-line options shared by the figure benches. */
+struct FigOptions {
+    unsigned threads = 0;      ///< Scheduler width; 0 = hardware.
+    bool serial = false;       ///< Run the legacy serial pipeline.
+    bool verifySerial = false; ///< Also run serially and require
+                               ///< byte-identical results (CI guard).
+};
+
+/**
+ * Parse figure-bench arguments: --threads N, --serial,
+ * --verify-serial. Unknown arguments print usage and exit(2).
+ */
+FigOptions parseFigArgs(int argc, char **argv);
+
+/**
+ * Evaluate the fig11/15-style sweep per `opts`: the scheduler-backed
+ * pipeline by default, the legacy serial pipeline under --serial.
+ * Under --verify-serial the serial pipeline runs as well and the
+ * process exits(1) unless the results are byte-identical.
+ *
+ * @param make Workload factory.
+ * @param opts Parsed bench options.
+ */
+harness::FigureSweep runFigureSweep(const harness::WorkloadFactory &make,
+                                    const FigOptions &opts);
 
 /**
  * Print the Fig 11/12 grid: training-time projection error (%) per
  * selector (rows) per Table II configuration (columns), plus each
  * selector's geomean, and the SeqPoint bin/point diagnostics.
  *
- * @param exp Experiment (selection is built on config #1).
+ * @param sweep Evaluated figure sweep.
  * @param caption Figure caption.
  * @return SeqPoint's geomean error (%), for summary lines.
  */
-double printTimeErrorFigure(harness::Experiment &exp,
+double printTimeErrorFigure(const harness::FigureSweep &sweep,
                             const std::string &caption);
 
 /**
  * Print the Fig 15/16 grid: throughput-uplift projection error
  * (percentage points) per selector per config pair (#X -> #1).
  *
- * @param exp Experiment.
+ * @param sweep Evaluated figure sweep.
  * @param caption Figure caption.
  * @return SeqPoint's geomean error (pp).
  */
-double printSpeedupErrorFigure(harness::Experiment &exp,
+double printSpeedupErrorFigure(const harness::FigureSweep &sweep,
                                const std::string &caption);
 
 /**
- * Print the Fig 13/14 per-SL sensitivity series: throughput uplift
- * (%) of config #1 over configs #2..#5, for a sweep of SLs.
+ * Evaluate and print the Fig 13/14 per-SL sensitivity series:
+ * throughput uplift (%) of config #1 over configs #2..#5 for a sweep
+ * of SLs, via the scheduler or the serial path per `opts` (with the
+ * same --verify-serial contract as runFigureSweep()).
  *
- * @param exp Experiment.
+ * @param make Workload factory.
  * @param caption Figure caption.
  * @param sl_lo Sweep start.
  * @param sl_hi Sweep end (inclusive).
  * @param step Sweep step.
+ * @param opts Parsed bench options.
  */
-void printSensitivityFigure(harness::Experiment &exp,
+void printSensitivityFigure(const harness::WorkloadFactory &make,
                             const std::string &caption, int64_t sl_lo,
-                            int64_t sl_hi, int64_t step);
+                            int64_t sl_hi, int64_t step,
+                            const FigOptions &opts);
 
 /** Print a one-line paper-vs-measured note. */
 void paperNote(const std::string &text);

@@ -37,14 +37,17 @@ stdev(const std::vector<double> &xs)
 }
 
 double
-geomean(const std::vector<double> &xs)
+geomean(const std::vector<double> &xs, double floor)
 {
+    panic_if(floor < 0.0, "geomean: negative floor %g", floor);
     if (xs.empty())
         return 0.0;
     constexpr double tiny = 1e-12;
     double log_sum = 0.0;
     for (double x : xs) {
-        if (x <= 0.0) {
+        if (floor > 0.0) {
+            x = std::max(x, floor);
+        } else if (x <= 0.0) {
             warn("geomean: clamping non-positive value %g to %g", x, tiny);
             x = tiny;
         }

@@ -21,13 +21,25 @@ double stdev(const std::vector<double> &xs);
 /**
  * Geometric mean of strictly positive values.
  *
- * Values <= 0 are clamped to a tiny epsilon with a warning, matching
- * the common practice when summarising near-zero error percentages.
+ * With a positive `floor`, every entry below it is clamped up to the
+ * floor before the log-sum. Error aggregations need this guard: one
+ * entry that is exactly 0 would otherwise collapse the whole geomean
+ * towards 0 (a 0% error among five configs says "perfect on one
+ * config", not "the selector's summary error is 0"). Pick the floor
+ * at the resolution of the aggregated metric, e.g. half the printed
+ * precision.
+ *
+ * With the default floor of 0, non-positive values are clamped to a
+ * tiny epsilon (1e-12) with a warning -- the legacy behaviour, which
+ * deliberately collapses the mean and only suits inputs known to be
+ * strictly positive.
  *
  * @param xs Input values.
+ * @param floor Smallest value an entry may contribute (0 = legacy
+ *              tiny-epsilon clamp).
  * @return Geometric mean; 0 for an empty input.
  */
-double geomean(const std::vector<double> &xs);
+double geomean(const std::vector<double> &xs, double floor = 0.0);
 
 /** @return Sum of the values. */
 double sum(const std::vector<double> &xs);

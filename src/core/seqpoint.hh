@@ -50,6 +50,9 @@ struct SeqPointOptions {
 
     /** Representative-pick policy. */
     RepPick repPick = RepPick::ClosestToAvgStat;
+
+    /** Field-wise equality (snapshot identity guards). */
+    bool operator==(const SeqPointOptions &other) const = default;
 };
 
 /** One selected representative iteration. */
@@ -57,6 +60,9 @@ struct SeqPointRecord {
     int64_t seqLen = 0;     ///< Representative sequence length.
     double weight = 0.0;    ///< Iterations it stands for.
     double statValue = 0.0; ///< Its statistic on the reference setup.
+
+    /** Bit-exact field-wise equality (identity guards). */
+    bool operator==(const SeqPointRecord &other) const = default;
 };
 
 /** The selected representative set plus selection diagnostics. */
@@ -71,6 +77,12 @@ struct SeqPointSet {
     bool converged = false;     ///< Error threshold met.
     double selfError = 0.0;     ///< Relative error on the reference
                                 ///< statistic it was selected with.
+
+    /**
+     * Bit-exact field-wise equality (the scheduler-vs-serial and
+     * memoized-vs-recomputed identity guards; no tolerance).
+     */
+    bool operator==(const SeqPointSet &other) const = default;
 
     /** @return Sum of weights (the epoch's iteration count). */
     double totalWeight() const;

@@ -47,7 +47,52 @@ Experiment::state(const sim::GpuConfig &cfg)
     states.push_back(
         std::make_unique<ConfigState>(cfg, wl.model, wl.batchSize,
                                       timingCache, memoizeProfiles));
-    return *states.back();
+    ConfigState &st = *states.back();
+
+    // Seed the new state from the adopted snapshot when it covers
+    // exactly this configuration. Everything copied in is a pure
+    // function of (workload, configuration), so seeded queries are
+    // bit-identical to cold ones; other configurations start cold.
+    if (seed && seed->config == cfg) {
+        st.tuner.seed(seed->tunerEntries);
+        if (st.gpu.timingCacheEnabled())
+            st.gpu.seedTimingCache(seed->timingEntries);
+        st.profiler.seedTrainProfiles(seed->trainProfiles);
+        st.profiler.seedInferProfiles(seed->inferProfiles);
+        st.log = std::make_unique<prof::TrainLog>(seed->log);
+        st.stats = std::make_unique<core::SlStats>(seed->stats);
+        st.selections = seed->selections;
+    }
+    return st;
+}
+
+void
+Experiment::setTimingCacheEnabled(bool enable)
+{
+    timingCache = enable;
+    // Retrofit live states: cached timings are pure functions of the
+    // configuration, so flipping the cache never changes results.
+    for (const auto &st : states)
+        st->gpu.setTimingCacheEnabled(enable);
+}
+
+void
+Experiment::setMemoizeProfiles(bool enable)
+{
+    // A profiler's memoization mode is fixed at construction, so a
+    // change cannot retrofit existing per-config state. Failing loudly
+    // beats the historical silent no-op (set-after-query misuse).
+    panic_if(enable != memoizeProfiles && !states.empty(),
+             "Experiment::setMemoizeProfiles(%d) after %zu "
+             "configuration(s) were already queried with memoize=%d; "
+             "set profiling knobs before the first query",
+             enable, states.size(), memoizeProfiles);
+    // An adopted snapshot seeds profile memos, which need memoization
+    // (the same precondition seedFrom() itself checks).
+    panic_if(!enable && seed,
+             "Experiment::setMemoizeProfiles(false) after seedFrom(); "
+             "snapshot seeding requires profile memoization");
+    memoizeProfiles = enable;
 }
 
 void
@@ -75,9 +120,6 @@ Experiment::epochLog(const sim::GpuConfig &cfg)
         tc.policy = wl.policy;
         tc.seed = wl.seed;
         tc.evalCostMultiplier = wl.evalCostMultiplier;
-        // Knobs freeze into per-config state at creation (see the
-        // header); honor the state's actual mode, not the current
-        // member, so toggling between queries stays valid.
         tc.memoizeProfiles = st.profiler.memoizing();
         tc.profileThreads = profThreads;
         // Run through the per-config profiler: the epoch's unique-SL
@@ -130,30 +172,52 @@ Experiment::epochSamples(const sim::GpuConfig &cfg)
     return samples;
 }
 
-core::SlStats
+const core::SlStats &
 Experiment::slStats(const sim::GpuConfig &cfg)
 {
-    return core::SlStats::fromIterations(epochSamples(cfg));
+    ConfigState &st = state(cfg);
+    if (!st.stats) {
+        st.stats = std::make_unique<core::SlStats>(
+            core::SlStats::fromIterations(epochSamples(cfg)));
+    }
+    return *st.stats;
 }
 
-core::SeqPointSet
+const core::SeqPointSet &
 Experiment::buildSelection(core::SelectorKind kind,
                            const sim::GpuConfig &ref)
 {
+    {
+        ConfigState &st = state(ref);
+        auto it = st.selections.find(kind);
+        if (it != st.selections.end())
+            return it->second;
+    }
+
+    // Build outside any held iterator: slStats()/epochSamples() may
+    // run the epoch, and the memo write below must come last.
+    core::SeqPointSet sel;
     switch (kind) {
       case core::SelectorKind::Worst:
-        return core::selectWorst(slStats(ref));
+        sel = core::selectWorst(slStats(ref));
+        break;
       case core::SelectorKind::Frequent:
-        return core::selectFrequent(slStats(ref));
+        sel = core::selectFrequent(slStats(ref));
+        break;
       case core::SelectorKind::Median:
-        return core::selectMedian(slStats(ref));
+        sel = core::selectMedian(slStats(ref));
+        break;
       case core::SelectorKind::Prior:
-        return core::selectPrior(epochSamples(ref));
+        sel = core::selectPrior(epochSamples(ref));
+        break;
       case core::SelectorKind::SeqPoint:
-        return core::selectSeqPoints(slStats(ref), opts);
+        sel = core::selectSeqPoints(slStats(ref), opts);
+        break;
+      default:
+        panic("buildSelection: bad selector");
     }
-    panic("buildSelection: bad selector");
-    return {};
+    return state(ref).selections.emplace(kind, std::move(sel))
+        .first->second;
 }
 
 std::map<core::SelectorKind, core::SeqPointSet>
@@ -183,6 +247,77 @@ Experiment::projectedThroughput(const core::SeqPointSet &sel,
 {
     return core::projectThroughput(sel, wl.batchSize,
         [this, &target](int64_t sl) { return iterTime(target, sl); });
+}
+
+std::shared_ptr<const ModelSnapshot>
+Experiment::snapshot(const sim::GpuConfig &cfg)
+{
+    panic_if(!memoizeProfiles,
+             "Experiment::snapshot requires profile memoization");
+
+    // Pay (or reuse) the full cold start first: epoch, per-SL
+    // profiles, autotune, kernel timings and every selector's set
+    // (warmed into the memo directly; buildAllSelections would
+    // deep-copy a result map just to discard it).
+    epochLog(cfg);
+    for (core::SelectorKind kind : {
+             core::SelectorKind::Worst, core::SelectorKind::Frequent,
+             core::SelectorKind::Median, core::SelectorKind::Prior,
+             core::SelectorKind::SeqPoint}) {
+        buildSelection(kind, cfg);
+    }
+
+    ConfigState &st = state(cfg);
+    auto snap = std::make_shared<ModelSnapshot>();
+    snap->workload = wl.name;
+    snap->config = cfg;
+    snap->dataset = wl.dataset.name;
+    snap->batchSize = wl.batchSize;
+    snap->policy = wl.policy;
+    snap->seed = wl.seed;
+    snap->evalCostMultiplier = wl.evalCostMultiplier;
+    snap->opts = opts;
+    snap->tunerEntries = st.tuner.snapshotEntries();
+    snap->timingEntries = st.gpu.timingCacheSnapshot();
+    snap->trainProfiles = st.profiler.trainProfileSnapshot();
+    snap->inferProfiles = st.profiler.inferProfileSnapshot();
+    snap->log = *st.log;
+    snap->stats = *st.stats;
+    snap->selections = st.selections;
+    return snap;
+}
+
+void
+Experiment::seedFrom(std::shared_ptr<const ModelSnapshot> snap)
+{
+    if (!snap) {
+        seed = nullptr;
+        return;
+    }
+    panic_if(!states.empty(),
+             "Experiment::seedFrom after %zu configuration(s) were "
+             "already queried; adopt snapshots before the first query",
+             states.size());
+    panic_if(snap->workload != wl.name,
+             "Experiment::seedFrom: snapshot is for workload '%s', "
+             "this experiment runs '%s'",
+             snap->workload.c_str(), wl.name.c_str());
+    // Same name is not enough: the snapshotted state is a function of
+    // the full run parameters, so a same-name variant (other seed,
+    // batch size, policy, eval cost, dataset or tunables) must never
+    // be seeded with this run's results.
+    panic_if(snap->dataset != wl.dataset.name ||
+                 snap->batchSize != wl.batchSize ||
+                 snap->policy != wl.policy || snap->seed != wl.seed ||
+                 snap->evalCostMultiplier != wl.evalCostMultiplier ||
+                 !(snap->opts == opts),
+             "Experiment::seedFrom: snapshot run parameters differ "
+             "from this experiment's (workload '%s': dataset/batch/"
+             "policy/seed/eval-cost/options must all match)",
+             wl.name.c_str());
+    panic_if(!memoizeProfiles,
+             "Experiment::seedFrom requires profile memoization");
+    seed = std::move(snap);
 }
 
 } // namespace harness

@@ -22,6 +22,7 @@
 #include "core/projection.hh"
 #include "core/seqpoint.hh"
 #include "core/sl_log.hh"
+#include "harness/snapshot.hh"
 #include "harness/workloads.hh"
 #include "profiler/profiler.hh"
 #include "profiler/trainer.hh"
@@ -58,25 +59,33 @@ class Experiment
     const core::SeqPointOptions &options() const { return opts; }
 
     /**
-     * Profiling-engine knobs. Set these before the first query for a
-     * configuration: they apply to per-configuration state as it is
-     * created and do not retrofit existing state.
-     */
-    /**
      * Threads for per-SL profiling sweeps (1 = serial; the default
      * is the hardware concurrency). Parallel sweeps are bit-identical
-     * to serial ones, so this only changes wall time.
+     * to serial ones, so this only changes wall time. Applies to
+     * every later sweep, including on configurations already queried.
      */
     void setProfileThreads(unsigned threads) { profThreads = threads; }
 
     /** @return Configured sweep thread count. */
     unsigned profileThreads() const { return profThreads; }
 
-    /** Enable/disable the per-device kernel-timing cache. */
-    void setTimingCacheEnabled(bool enable) { timingCache = enable; }
+    /**
+     * Enable/disable the per-device kernel-timing cache. Existing
+     * per-configuration states are retrofitted (cached timings are
+     * pure functions of the configuration, so toggling mid-run never
+     * changes results, only whether lookups consult the cache).
+     */
+    void setTimingCacheEnabled(bool enable);
 
-    /** Enable/disable per-SL profile memoization. */
-    void setMemoizeProfiles(bool enable) { memoizeProfiles = enable; }
+    /**
+     * Enable/disable per-SL profile memoization. Memoization mode
+     * freezes into per-configuration state when the state is created,
+     * and a profiler cannot be re-modded after the fact -- changing
+     * the value once any configuration has been queried panics
+     * instead of silently not applying (re-asserting the current
+     * value stays allowed).
+     */
+    void setMemoizeProfiles(bool enable);
 
     /**
      * Pre-profile a set of SLs on a configuration using the sweep
@@ -147,17 +156,21 @@ class Experiment
     std::vector<core::IterationSample>
     epochSamples(const sim::GpuConfig &cfg);
 
-    /** Per-unique-SL statistics of the epoch on a config. */
-    core::SlStats slStats(const sim::GpuConfig &cfg);
+    /** Per-unique-SL statistics of the epoch on a config (memoized). */
+    const core::SlStats &slStats(const sim::GpuConfig &cfg);
 
     /**
      * Build one selector's representative set on a reference config.
      *
+     * Selections (and the slStats they are built from) are memoized
+     * per configuration, so evaluating all five selectors walks the
+     * epoch log once instead of once per selector.
+     *
      * @param kind Selector.
      * @param ref Reference configuration (paper: config #1).
      */
-    core::SeqPointSet buildSelection(core::SelectorKind kind,
-                                     const sim::GpuConfig &ref);
+    const core::SeqPointSet &buildSelection(core::SelectorKind kind,
+                                            const sim::GpuConfig &ref);
 
     /** All five selectors' sets on a reference config. */
     std::map<core::SelectorKind, core::SeqPointSet>
@@ -174,6 +187,34 @@ class Experiment
     double projectedThroughput(const core::SeqPointSet &sel,
                                const sim::GpuConfig &target);
 
+    /**
+     * Freeze this experiment's fully warmed state on a configuration
+     * into an immutable, shareable snapshot. Runs the epoch and
+     * builds every selection first if they have not been queried yet,
+     * so this is also the one-call way to pay a sweep's cold start.
+     *
+     * @param cfg Configuration to snapshot.
+     */
+    std::shared_ptr<const ModelSnapshot>
+    snapshot(const sim::GpuConfig &cfg);
+
+    /**
+     * Adopt a snapshot as this experiment's shared cold-start state.
+     * When per-config state is later created for a configuration
+     * equal to snap->config, it is seeded with the snapshot's caches,
+     * profiles, epoch log and selections instead of recomputing them;
+     * all other configurations stay cold. Seeded queries are
+     * bit-identical to cold ones (everything seeded is a pure
+     * function of workload x configuration).
+     *
+     * Must be called before the first per-config query, on an
+     * experiment for the same workload, with memoization enabled.
+     *
+     * @param snap Snapshot from Experiment::snapshot() (shared, not
+     *             copied; may be null for "no snapshot").
+     */
+    void seedFrom(std::shared_ptr<const ModelSnapshot> snap);
+
   private:
     /** Per-configuration simulation state with stable addresses. */
     struct ConfigState {
@@ -181,6 +222,8 @@ class Experiment
         nn::Autotuner tuner;
         prof::Profiler profiler;
         std::unique_ptr<prof::TrainLog> log;
+        std::unique_ptr<core::SlStats> stats;
+        std::map<core::SelectorKind, core::SeqPointSet> selections;
 
         ConfigState(const sim::GpuConfig &cfg, const nn::Model &model,
                     unsigned batch, bool timing_cache, bool memoize);
@@ -200,6 +243,9 @@ class Experiment
      * name alone would alias differently-parameterised configs).
      */
     std::vector<std::unique_ptr<ConfigState>> states;
+
+    /** Shared cold-start state adopted via seedFrom(), or null. */
+    std::shared_ptr<const ModelSnapshot> seed;
 
     ConfigState &state(const sim::GpuConfig &cfg);
 };

@@ -45,7 +45,8 @@ ExperimentScheduler::forEachCell(
 std::vector<EpochCellResult>
 ExperimentScheduler::epochSweep(
     const std::vector<WorkloadFactory> &workloads,
-    const std::vector<sim::GpuConfig> &configs) const
+    const std::vector<sim::GpuConfig> &configs,
+    const Snapshots &snapshots) const
 {
     return mapCells<EpochCellResult>(
         workloads, configs,
@@ -60,7 +61,8 @@ ExperimentScheduler::epochSweep(
             r.throughput = log.throughput(exp.workload().batchSize);
             r.counters = log.counters;
             return r;
-        });
+        },
+        snapshots);
 }
 
 } // namespace harness

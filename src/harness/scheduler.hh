@@ -13,12 +13,15 @@
 #define SEQPOINT_HARNESS_SCHEDULER_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
+#include "harness/snapshot.hh"
 
 namespace seqpoint {
 namespace harness {
@@ -74,12 +77,25 @@ class ExperimentScheduler
     unsigned profileThreadsPerCell() const { return cellProfileThreads; }
 
     /**
+     * Per-workload shared cold-start snapshots for mapCells(): either
+     * empty (no sharing) or one entry per workload row, where entry w
+     * (null allowed) seeds every cell of row w via
+     * Experiment::seedFrom(). Cells whose configuration matches the
+     * snapshot skip the model-lowering/autotune/profile cold start;
+     * all other cells run cold. Results stay byte-identical either
+     * way, so sharing only changes wall time.
+     */
+    using Snapshots =
+        std::vector<std::shared_ptr<const ModelSnapshot>>;
+
+    /**
      * Evaluate `eval` on every (workload x config) cell.
      *
      * @param workloads Workload factories, one per sweep row.
      * @param configs Hardware configurations, one per sweep column.
      * @param eval Cell body; runs on a pool thread with a private
      *             Experiment. Must not touch shared mutable state.
+     * @param snapshots Optional per-workload cold-start snapshots.
      * @return Results in workload-major, config-minor order.
      */
     template <typename R>
@@ -87,18 +103,25 @@ class ExperimentScheduler
     mapCells(const std::vector<WorkloadFactory> &workloads,
              const std::vector<sim::GpuConfig> &configs,
              const std::function<R(Experiment &,
-                                   const sim::GpuConfig &)> &eval) const
+                                   const sim::GpuConfig &)> &eval,
+             const Snapshots &snapshots = {}) const
     {
         // vector<bool> packs bits, so concurrent element writes from
         // pool threads would race; wrap bools in a struct instead.
         static_assert(!std::is_same_v<R, bool>,
                       "mapCells<bool> would race on vector<bool> bits");
+        panic_if(!snapshots.empty() &&
+                     snapshots.size() != workloads.size(),
+                 "mapCells: %zu snapshot(s) for %zu workload row(s)",
+                 snapshots.size(), workloads.size());
         std::vector<R> results(workloads.size() * configs.size());
         forEachCell(workloads.size(), configs.size(),
                     [&](std::size_t cell, std::size_t w, std::size_t c) {
                         Experiment exp(workloads[w]());
                         exp.setProfileThreads(
                             cellProfileThreads ? cellProfileThreads : 1);
+                        if (!snapshots.empty())
+                            exp.seedFrom(snapshots[w]);
                         results[cell] = eval(exp, configs[c]);
                     });
         return results;
@@ -110,11 +133,13 @@ class ExperimentScheduler
      *
      * @param workloads Workload factories.
      * @param configs Hardware configurations.
+     * @param snapshots Optional per-workload cold-start snapshots.
      * @return Cell results in workload-major, config-minor order.
      */
     std::vector<EpochCellResult>
     epochSweep(const std::vector<WorkloadFactory> &workloads,
-               const std::vector<sim::GpuConfig> &configs) const;
+               const std::vector<sim::GpuConfig> &configs,
+               const Snapshots &snapshots = {}) const;
 
   private:
     unsigned numThreads;

@@ -92,6 +92,30 @@ Autotuner::cacheSize() const
     return cache.size();
 }
 
+std::vector<AutotuneEntry>
+Autotuner::snapshotEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<AutotuneEntry> out;
+    out.reserve(cache.size());
+    for (const auto &[key, entry] : cache) {
+        out.push_back(AutotuneEntry{std::get<0>(key), std::get<1>(key),
+                                    std::get<2>(key), entry.variant,
+                                    entry.costSec});
+    }
+    return out;
+}
+
+void
+Autotuner::seed(const std::vector<AutotuneEntry> &entries)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const AutotuneEntry &e : entries) {
+        cache.emplace(ShapeKey{e.m, e.n, e.k},
+                      Entry{e.variant, e.costSec});
+    }
+}
+
 GemmVariant
 Autotuner::chooseHeuristic(int64_t m, int64_t n, int64_t k) const
 {

@@ -37,6 +37,19 @@ struct GemmVariant {
 const std::vector<GemmVariant> &gemmVariantMenu();
 
 /**
+ * One frozen tuning decision, exported for cross-tuner sharing (the
+ * harness's ModelSnapshot hands a sweep's one-time autotune results
+ * to every scheduler cell evaluating the same configuration).
+ */
+struct AutotuneEntry {
+    int64_t m = 0;        ///< GEMM M dimension.
+    int64_t n = 0;        ///< GEMM N dimension.
+    int64_t k = 0;        ///< GEMM K dimension.
+    GemmVariant variant;  ///< The winning variant.
+    double costSec = 0.0; ///< Measured-mode probe time it cost.
+};
+
+/**
  * Shape -> variant cache with two selection policies.
  *
  * Heuristic mode picks by a traffic-plus-waste cost model (pure
@@ -90,6 +103,20 @@ class Autotuner
 
     /** @return Number of distinct shapes tuned so far. */
     size_t cacheSize() const;
+
+    /** @return A copy of every tuned shape, in shape-key order. */
+    std::vector<AutotuneEntry> snapshotEntries() const;
+
+    /**
+     * Pre-populate from entries snapshotted on a tuner bound to an
+     * equally configured device. Existing entries win. Seeded shapes
+     * keep their original probe cost, so tuningCostSec() continues to
+     * report the sweep's one-time tuning bill and delta-based
+     * accounting (Experiment::epochLog) sees them as already paid.
+     *
+     * @param entries Entries from snapshotEntries().
+     */
+    void seed(const std::vector<AutotuneEntry> &entries);
 
     /** Drop the cache (fresh training run). */
     void reset();

@@ -125,6 +125,22 @@ Profiler::warmProfiles(const std::vector<int64_t> &sls, unsigned threads,
 }
 
 void
+Profiler::seedTrainProfiles(
+    const std::map<int64_t, IterationProfile> &profiles)
+{
+    fatal_if(!memoize, "Profiler: seeding requires memoization");
+    trainCache.insert(profiles.begin(), profiles.end());
+}
+
+void
+Profiler::seedInferProfiles(
+    const std::map<int64_t, IterationProfile> &profiles)
+{
+    fatal_if(!memoize, "Profiler: seeding requires memoization");
+    inferCache.insert(profiles.begin(), profiles.end());
+}
+
+void
 Profiler::warmTrainProfiles(const std::vector<int64_t> &sls,
                             unsigned threads)
 {

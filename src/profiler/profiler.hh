@@ -89,6 +89,34 @@ class Profiler
     void warmInferProfiles(const std::vector<int64_t> &sls,
                            unsigned threads);
 
+    /** @return A copy of the per-SL training-profile memo. */
+    std::map<int64_t, IterationProfile> trainProfileSnapshot() const
+    {
+        return trainCache;
+    }
+
+    /** @return A copy of the per-SL inference-profile memo. */
+    std::map<int64_t, IterationProfile> inferProfileSnapshot() const
+    {
+        return inferCache;
+    }
+
+    /**
+     * Pre-populate the training memo from profiles snapshotted on an
+     * equally configured (device, model, batch) profiler. Existing
+     * entries win. Requires memoization; profiles are pure functions
+     * of SL, so a seeded memo serves results bit-identical to
+     * profiling from scratch.
+     *
+     * @param profiles Entries from trainProfileSnapshot().
+     */
+    void seedTrainProfiles(
+        const std::map<int64_t, IterationProfile> &profiles);
+
+    /** Seed the inference memo; see seedTrainProfiles(). */
+    void seedInferProfiles(
+        const std::map<int64_t, IterationProfile> &profiles);
+
     /** @return The device this profiler executes on. */
     const sim::Gpu &gpu() const { return gpu_; }
 

@@ -30,6 +30,21 @@ TrainLog::throughput(unsigned batch) const
         static_cast<double>(batch) / trainSec;
 }
 
+bool
+TrainLog::identicalTo(const TrainLog &other) const
+{
+    if (iterations.size() != other.iterations.size() ||
+        trainSec != other.trainSec || evalSec != other.evalSec ||
+        !(counters == other.counters))
+        return false;
+    for (size_t i = 0; i < iterations.size(); ++i) {
+        if (iterations[i].seqLen != other.iterations[i].seqLen ||
+            iterations[i].timeSec != other.iterations[i].timeSec)
+            return false;
+    }
+    return true;
+}
+
 namespace {
 
 /** Unique batch SLs in ascending order. */
@@ -55,6 +70,18 @@ slIndex(const std::vector<int64_t> &sls, int64_t sl)
 
 } // anonymous namespace
 
+std::vector<data::Batch>
+epochBatchSchedule(const data::Dataset &dataset, const TrainConfig &cfg,
+                   Rng *rng_out)
+{
+    Rng rng(cfg.seed, 0xba7c);
+    std::vector<data::Batch> batches = data::makeEpochBatches(
+        dataset.trainLens, cfg.batchSize, cfg.policy, rng);
+    if (rng_out)
+        *rng_out = rng;
+    return batches;
+}
+
 TrainLog
 runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
                  const TrainConfig &cfg)
@@ -68,9 +95,11 @@ runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
     fatal_if(profiler.autotuner().selectionMode() != cfg.tunerMode,
              "runTrainingEpoch: profiler/config autotuner-mode mismatch");
 
-    Rng rng(cfg.seed, 0xba7c);
-    std::vector<data::Batch> batches = data::makeEpochBatches(
-        dataset.trainLens, cfg.batchSize, cfg.policy, rng);
+    // The epoch RNG continues from training-phase batching into the
+    // evaluation phase, so take it back out of the schedule builder.
+    Rng rng;
+    std::vector<data::Batch> batches =
+        epochBatchSchedule(dataset, cfg, &rng);
 
     bool do_eval = cfg.runEval && !dataset.evalLens.empty() &&
         dataset.evalLens.size() >= cfg.batchSize;

@@ -93,7 +93,38 @@ struct TrainLog {
      * @param batch Batch size the epoch ran with.
      */
     double throughput(unsigned batch) const;
+
+    /**
+     * Bit-exact equality of iteration logs, times and counters (the
+     * bench/test identity guard shared by the engine and scheduler
+     * comparisons). autotuneSec is deliberately excluded: persistent
+     * and snapshot-seeded engines legitimately account the one-time
+     * tuning cost to an earlier run.
+     *
+     * @param other Log to compare against.
+     */
+    bool identicalTo(const TrainLog &other) const;
 };
+
+/**
+ * The training-phase batch schedule an epoch with these parameters
+ * will execute, without running anything: a pure function of
+ * (dataset, batch size, policy, seed). runTrainingEpoch() builds its
+ * training batches through this same function, so the two cannot
+ * drift; callers that only need the SL schedule -- e.g. locating
+ * Prior's window in the sorted first epoch -- can skip the
+ * simulation cold start entirely.
+ *
+ * @param dataset Dataset supplying sample sequence lengths.
+ * @param cfg Training-run parameters (batchSize, policy, seed).
+ * @param rng_out If non-null, receives the epoch RNG's state after
+ *                training-phase batching (the trainer continues it
+ *                for the evaluation phase).
+ * @return Training batches in execution order.
+ */
+std::vector<data::Batch> epochBatchSchedule(const data::Dataset &dataset,
+                                            const TrainConfig &cfg,
+                                            Rng *rng_out = nullptr);
 
 /**
  * Run one training epoch.

@@ -33,6 +33,12 @@ struct PerfCounters {
     double busySec = 0;         ///< Kernel busy time (excl. launch).
     double launchSec = 0;       ///< Launch/dispatch overhead time.
 
+    /**
+     * Bit-exact field-wise equality (bench/test identity guards; no
+     * tolerance -- the engines under comparison must agree exactly).
+     */
+    bool operator==(const PerfCounters &other) const = default;
+
     /** Accumulate another bundle into this one. */
     PerfCounters &operator+=(const PerfCounters &other);
 

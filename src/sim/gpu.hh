@@ -87,6 +87,21 @@ class Gpu
     /** Drop every cached timing and reset the statistics. */
     void clearTimingCache() { cache.clear(); }
 
+    /** @return A copy of every cached kernel timing. */
+    std::vector<TimingCacheEntry> timingCacheSnapshot() const
+    {
+        return cache.snapshotEntries();
+    }
+
+    /**
+     * Seed the timing cache from a snapshot taken on a device with an
+     * equal configuration (see KernelTimingCache::seed()).
+     */
+    void seedTimingCache(const std::vector<TimingCacheEntry> &entries)
+    {
+        cache.seed(entries);
+    }
+
     /**
      * Execute one kernel.
      *

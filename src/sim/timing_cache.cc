@@ -103,6 +103,25 @@ KernelTimingCache::lookup(const KernelDesc &desc, const GpuConfig &cfg)
     return it->second;
 }
 
+std::vector<TimingCacheEntry>
+KernelTimingCache::snapshotEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TimingCacheEntry> out;
+    out.reserve(entries.size());
+    for (const auto &[sig, timing] : entries)
+        out.push_back(TimingCacheEntry{sig, timing});
+    return out;
+}
+
+void
+KernelTimingCache::seed(const std::vector<TimingCacheEntry> &seeded)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const TimingCacheEntry &e : seeded)
+        entries.emplace(e.sig, e.timing);
+}
+
 TimingCacheStats
 KernelTimingCache::stats() const
 {

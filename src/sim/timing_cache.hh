@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/kernel.hh"
 #include "sim/timing_model.hh"
@@ -76,6 +77,16 @@ struct TimingCacheStats {
 };
 
 /**
+ * One frozen cache entry, exported for cross-instance sharing (the
+ * harness's ModelSnapshot hands a sweep's cold-start timings to every
+ * scheduler cell evaluating the same configuration).
+ */
+struct TimingCacheEntry {
+    KernelSignature sig; ///< Canonical signature key.
+    KernelTiming timing; ///< Memoized per-launch timing.
+};
+
+/**
  * Signature -> KernelTiming memo for one device configuration.
  *
  * Thread-safe: lookups from concurrent profiling tasks serialise on an
@@ -98,6 +109,21 @@ class KernelTimingCache
 
     /** @return Hit/miss counts so far. */
     TimingCacheStats stats() const;
+
+    /** @return A copy of every cached entry (order unspecified). */
+    std::vector<TimingCacheEntry> snapshotEntries() const;
+
+    /**
+     * Pre-populate from entries snapshotted on the SAME device
+     * configuration. Existing entries win; neither hits nor misses
+     * are counted. Because timeKernel() is a pure function of
+     * (signature, config), a seeded cache serves results
+     * bit-identical to a cold cache that computes them itself.
+     *
+     * @param entries Entries from snapshotEntries() of a cache bound
+     *                to an equal GpuConfig.
+     */
+    void seed(const std::vector<TimingCacheEntry> &entries);
 
     /** @return Distinct signatures cached. */
     std::size_t size() const;

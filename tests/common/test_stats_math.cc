@@ -40,6 +40,26 @@ TEST(Geomean, ClampsNonPositiveWithWarning)
     EXPECT_LT(g, 1.0);
 }
 
+TEST(Geomean, FloorGuardsZeroEntries)
+{
+    // Regression: a selector landing exactly on the actual for one
+    // configuration (0% error) used to collapse the whole geomean to
+    // ~1e-6 via the tiny-epsilon clamp. With a floor, the zero entry
+    // contributes "below measurable" instead.
+    double floor = 0.005;
+    EXPECT_DOUBLE_EQ(geomean({0.0, 2.0}, floor),
+                     std::sqrt(floor * 2.0));
+    // Without the floor the same input collapses (the legacy clamp).
+    EXPECT_LT(geomean({0.0, 2.0}), 1e-5);
+    // The floor never perturbs entries above it.
+    EXPECT_NEAR(geomean({1.0, 4.0}, floor), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}, floor), 2.0, 1e-12);
+    // All entries at/below the floor degenerate to the floor itself,
+    // not to 0 or NaN.
+    EXPECT_DOUBLE_EQ(geomean({0.0, 0.0}, floor), floor);
+    EXPECT_FALSE(std::isnan(geomean({0.0, 0.0, 0.0}, floor)));
+}
+
 TEST(WeightedMean, RespectsWeights)
 {
     EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 3.0}), 2.5);

@@ -71,17 +71,96 @@ TEST(Experiment, SameNameDifferentParamsDoNotAliasState)
     EXPECT_NE(&exp.epochLog(fast), &exp.epochLog(slow));
 }
 
-TEST(Experiment, MemoizeToggleAfterStateCreationStillRuns)
+TEST(ExperimentDeathTest, MemoizeToggleAfterQueryPanics)
 {
-    // Knobs do not retrofit existing per-config state (header
-    // contract): toggling memoization between queries must keep the
-    // state's frozen mode rather than abort on a mismatch.
+    // Regression (set-after-query misuse): memoization mode freezes
+    // into per-config state at creation, so changing it after a query
+    // used to silently not apply. It must fail loudly instead.
     Experiment exp(makeDs2Workload(31));
     auto cfg = sim::GpuConfig::config1();
-    double t = exp.iterTime(cfg, 40); // freezes memoizing state
-    EXPECT_GT(t, 0.0);
-    exp.setMemoizeProfiles(false);
+    EXPECT_GT(exp.iterTime(cfg, 40), 0.0); // freezes memoizing state
+    EXPECT_DEATH(exp.setMemoizeProfiles(false), "setMemoizeProfiles");
+    // Re-asserting the value already in force is not a change.
+    exp.setMemoizeProfiles(true);
     EXPECT_GT(exp.actualTrainSec(cfg), 0.0);
+}
+
+TEST(Experiment, MemoizeOffBeforeFirstQueryStillApplies)
+{
+    Experiment exp(makeDs2Workload(31));
+    exp.setMemoizeProfiles(false);
+    auto cfg = sim::GpuConfig::config1();
+    EXPECT_GT(exp.actualTrainSec(cfg), 0.0);
+}
+
+TEST(Experiment, TimingCacheToggleRetrofitsExistingStates)
+{
+    // Regression (set-after-query misuse): disabling the kernel-
+    // timing cache after a configuration was queried used to leave
+    // that configuration's device caching forever. The setter now
+    // retrofits live states: with the cache off, fresh profiling
+    // performs no lookups at all.
+    Experiment exp(makeDs2Workload(31));
+    auto cfg = sim::GpuConfig::config1();
+    EXPECT_GT(exp.iterTime(cfg, 40), 0.0); // creates the state
+    EXPECT_GT(exp.timingCacheStats(cfg).lookups(), 0u);
+
+    exp.setTimingCacheEnabled(false);
+    uint64_t before = exp.timingCacheStats(cfg).lookups();
+    double t_uncached = exp.iterTime(cfg, 60); // fresh SL, no cache
+    EXPECT_EQ(exp.timingCacheStats(cfg).lookups(), before);
+
+    exp.setTimingCacheEnabled(true);
+    exp.iterTime(cfg, 80); // fresh SL, cache consulted again
+    EXPECT_GT(exp.timingCacheStats(cfg).lookups(), before);
+
+    // Timings are pure functions of the configuration, so toggling
+    // never changes values.
+    Experiment fresh(makeDs2Workload(31));
+    EXPECT_EQ(t_uncached, fresh.iterTime(cfg, 60));
+}
+
+TEST(Experiment, SlStatsMemoizedAndEqualToRecompute)
+{
+    // Regression: buildAllSelections used to recompute slStats from
+    // the full epoch log once per selector. The memoized stats must
+    // be the same object across calls and equal a from-scratch
+    // recompute.
+    Experiment exp(makeDs2Workload(31));
+    auto cfg = sim::GpuConfig::config1();
+    const core::SlStats &a = exp.slStats(cfg);
+    const core::SlStats &b = exp.slStats(cfg);
+    EXPECT_EQ(&a, &b);
+
+    core::SlStats fresh =
+        core::SlStats::fromIterations(exp.epochSamples(cfg));
+    ASSERT_EQ(a.uniqueCount(), fresh.uniqueCount());
+    for (size_t i = 0; i < a.entries().size(); ++i) {
+        EXPECT_EQ(a.entries()[i].seqLen, fresh.entries()[i].seqLen);
+        EXPECT_EQ(a.entries()[i].freq, fresh.entries()[i].freq);
+        EXPECT_EQ(a.entries()[i].statValue,
+                  fresh.entries()[i].statValue);
+    }
+}
+
+TEST(Experiment, SelectionsMemoizedAndEqualToRecompute)
+{
+    Experiment exp(makeDs2Workload(31));
+    auto cfg = sim::GpuConfig::config1();
+    for (core::SelectorKind kind :
+         {SelectorKind::Worst, SelectorKind::Frequent,
+          SelectorKind::Median, SelectorKind::Prior,
+          SelectorKind::SeqPoint}) {
+        const core::SeqPointSet &a = exp.buildSelection(kind, cfg);
+        const core::SeqPointSet &b = exp.buildSelection(kind, cfg);
+        EXPECT_EQ(&a, &b) << core::selectorName(kind);
+
+        // The memoized set must equal what a fresh experiment
+        // recomputes from scratch (bit-exact field-wise equality).
+        Experiment fresh(makeDs2Workload(31));
+        const core::SeqPointSet &r = fresh.buildSelection(kind, cfg);
+        EXPECT_TRUE(a == r) << core::selectorName(kind);
+    }
 }
 
 TEST(Experiment, EpochScaleMatchesPaperSetup)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the scheduler-backed figure pipeline and the shared
+ * cold-start ModelSnapshot: the scheduled sweep must be byte-identical
+ * to the serial pipeline at any thread count, and cells seeded from a
+ * snapshot must produce bit-identical results to cold cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/figures.hh"
+
+namespace seqpoint {
+namespace harness {
+namespace {
+
+WorkloadFactory
+ds2()
+{
+    return [] { return makeDs2Workload(); };
+}
+
+TEST(FigurePipeline, ScheduledSweepByteIdenticalToSerialAnyThreads)
+{
+    // The acceptance sweep: a fig11-shaped (selector x config) grid,
+    // serial vs scheduler at 1 and N threads, byte-identical.
+    FigureSweep serial = runFigureSweepSerial(ds2());
+    FigureSweep one = runFigureSweepScheduled(ds2(), 1);
+    FigureSweep many = runFigureSweepScheduled(ds2(), 3);
+
+    EXPECT_TRUE(serial.identicalTo(one));
+    EXPECT_TRUE(serial.identicalTo(many));
+    ASSERT_EQ(serial.columns.size(), 5u);
+    ASSERT_EQ(serial.selections.size(), 5u);
+
+    // Spot-check the grid is sensible: actuals positive, SeqPoint's
+    // time projection within a couple percent everywhere.
+    size_t sp = selectorOrder().size() - 1;
+    ASSERT_EQ(selectorOrder()[sp], core::SelectorKind::SeqPoint);
+    for (const FigureColumn &col : serial.columns) {
+        EXPECT_GT(col.actualSec, 0.0) << col.config;
+        double err = core::timeErrorPercent(col.projectedSec[sp],
+                                            col.actualSec);
+        EXPECT_LT(err, 2.0) << col.config;
+    }
+}
+
+TEST(FigurePipeline, SensitivityScheduledIdenticalToSerial)
+{
+    SensitivitySweep serial =
+        runSensitivitySweepSerial(ds2(), 60, 220, 40);
+    SensitivitySweep sched =
+        runSensitivitySweepScheduled(ds2(), 60, 220, 40, 3);
+    EXPECT_TRUE(serial.identicalTo(sched));
+    ASSERT_EQ(serial.sls.size(), 5u);
+    ASSERT_EQ(serial.configs.size(), 5u);
+    ASSERT_EQ(serial.iterSec.size(), serial.configs.size());
+}
+
+TEST(EpochSchedule, MatchesEpochLogOrder)
+{
+    // runTrainingEpoch builds its training batches through
+    // epochBatchSchedule; this pins the shared schedule to the
+    // executed iteration order.
+    Experiment exp(makeDs2Workload());
+    exp.setProfileThreads(1);
+    const prof::TrainLog &log =
+        exp.epochLog(sim::GpuConfig::config1());
+
+    prof::TrainConfig tc;
+    tc.batchSize = exp.workload().batchSize;
+    tc.policy = exp.workload().policy;
+    tc.seed = exp.workload().seed;
+    auto schedule =
+        prof::epochBatchSchedule(exp.workload().dataset, tc);
+
+    ASSERT_EQ(schedule.size(), log.numIterations());
+    for (size_t i = 0; i < schedule.size(); ++i)
+        ASSERT_EQ(schedule[i].seqLen, log.iterations[i].seqLen) << i;
+}
+
+TEST(ModelSnapshot, SeededExperimentBitIdenticalToCold)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+    auto cfg2 = sim::GpuConfig::config2();
+
+    // Freeze a fully warmed reference state.
+    Experiment donor(makeDs2Workload());
+    donor.setProfileThreads(1);
+    auto snap = donor.snapshot(cfg1);
+    EXPECT_EQ(snap->workload, "DS2");
+    EXPECT_FALSE(snap->trainProfiles.empty());
+    EXPECT_FALSE(snap->timingEntries.empty());
+    EXPECT_FALSE(snap->tunerEntries.empty());
+    EXPECT_EQ(snap->selections.size(), 5u);
+
+    // A seeded experiment must reproduce a cold experiment bit for
+    // bit -- on the snapshot's config (served from the snapshot) and
+    // on other configs (still computed cold).
+    Experiment seeded(makeDs2Workload());
+    seeded.setProfileThreads(1);
+    seeded.seedFrom(snap);
+    Experiment cold(makeDs2Workload());
+    cold.setProfileThreads(1);
+
+    EXPECT_TRUE(seeded.epochLog(cfg1).identicalTo(cold.epochLog(cfg1)));
+    EXPECT_TRUE(seeded.epochLog(cfg2).identicalTo(cold.epochLog(cfg2)));
+    EXPECT_EQ(seeded.iterTime(cfg1, 100), cold.iterTime(cfg1, 100));
+    EXPECT_EQ(seeded.iterTime(cfg2, 100), cold.iterTime(cfg2, 100));
+    EXPECT_EQ(seeded.actualThroughput(cfg1),
+              cold.actualThroughput(cfg1));
+
+    EXPECT_TRUE(
+        seeded.buildSelection(core::SelectorKind::SeqPoint, cfg1) ==
+        cold.buildSelection(core::SelectorKind::SeqPoint, cfg1));
+}
+
+TEST(ModelSnapshot, SeededSchedulerCellsMatchColdCells)
+{
+    auto configs = std::vector<sim::GpuConfig>{
+        sim::GpuConfig::config1(), sim::GpuConfig::config2()};
+
+    Experiment donor(makeDs2Workload());
+    donor.setProfileThreads(1);
+    auto snap = donor.snapshot(configs[0]);
+
+    ExperimentScheduler sched(2);
+    auto cold = sched.epochSweep({ds2()}, configs);
+    auto seeded = sched.epochSweep({ds2()}, configs, {snap});
+    ASSERT_EQ(cold.size(), seeded.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].workload, seeded[i].workload);
+        EXPECT_EQ(cold[i].config, seeded[i].config);
+        EXPECT_EQ(cold[i].iterations, seeded[i].iterations);
+        EXPECT_EQ(cold[i].trainSec, seeded[i].trainSec);
+        EXPECT_EQ(cold[i].evalSec, seeded[i].evalSec);
+        EXPECT_EQ(cold[i].throughput, seeded[i].throughput);
+        EXPECT_TRUE(cold[i].counters == seeded[i].counters);
+    }
+}
+
+TEST(ModelSnapshotDeathTest, MisuseFailsLoudly)
+{
+    Experiment donor(makeDs2Workload());
+    donor.setProfileThreads(1);
+    auto snap = donor.snapshot(sim::GpuConfig::config1());
+
+    // Seeding after a query is too late.
+    Experiment late(makeDs2Workload());
+    late.setProfileThreads(1);
+    late.iterTime(sim::GpuConfig::config1(), 40);
+    EXPECT_DEATH(late.seedFrom(snap), "seedFrom");
+
+    // Seeding a different workload's experiment is a category error.
+    Experiment wrong(makeGnmtWorkload());
+    EXPECT_DEATH(wrong.seedFrom(snap), "workload");
+
+    // Same workload name is not enough: a same-name variant with a
+    // different run seed holds different results.
+    Experiment variant(makeDs2Workload(31));
+    EXPECT_DEATH(variant.seedFrom(snap), "parameters");
+
+    // Disabling memoization after adopting a snapshot would strand
+    // the seeded profile memos; it must fail at the misuse site, not
+    // deep inside the first query.
+    Experiment unmemo(makeDs2Workload());
+    unmemo.seedFrom(snap);
+    EXPECT_DEATH(unmemo.setMemoizeProfiles(false), "memoization");
+}
+
+} // anonymous namespace
+} // namespace harness
+} // namespace seqpoint
