@@ -52,10 +52,21 @@ emit(harness::Experiment &exp)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(opts);
+
     harness::Experiment gnmt(harness::makeGnmtWorkload());
     harness::Experiment ds2(harness::makeDs2Workload());
+
+    // Share the Table II cold starts through the snapshot store when
+    // one is attached.
+    bench::warmTable2(registry.get(),
+                      [] { return harness::makeGnmtWorkload(); }, gnmt);
+    bench::warmTable2(registry.get(),
+                      [] { return harness::makeDs2Workload(); }, ds2);
+
     emit(gnmt);
     emit(ds2);
 

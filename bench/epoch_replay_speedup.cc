@@ -30,13 +30,24 @@
  * scheduled sweep must be byte-identical to the serial one and, on
  * multi-core hosts, >= 2x faster.
  *
+ * Part 4 measures the persistent snapshot registry on the fig11 +
+ * fig13 + fig15 bench trio: each bench standalone (its own cold
+ * start, as separate binaries pay it) versus the same trio replayed
+ * from a primed on-disk snapshot store -- the cross-bench/cross-run
+ * reuse CI gets from caching the store. Warmed results must be
+ * byte-identical to cold ones, replay without a single build, and
+ * clear a 1.5x speedup floor (~2x measured on the CI container).
+ *
  * Results are written to a JSON report (default BENCH_epoch.json,
  * argv[1] overrides); the process fails if any gate is missed.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <thread>
 #include <vector>
@@ -290,6 +301,120 @@ main(int argc, char **argv)
                 fig_identical ? "yes" : "NO -- BUG");
 
     // ------------------------------------------------------------------
+    // Part 4: persistent snapshot registry (figs 11 + 13 + 15 trio).
+    // ------------------------------------------------------------------
+    auto make_gnmt = [] { return harness::makeGnmtWorkload(); };
+    const int64_t sens_lo = 10, sens_hi = 210, sens_step = 10;
+
+    // Cold baseline: each bench binary pays its own cold start (two
+    // DS2 figure sweeps for fig11/fig15, the GNMT sensitivity series
+    // for fig13), nothing shared between them.
+    t0 = now();
+    harness::FigureSweep f11_cold =
+        harness::runFigureSweepScheduled(make_ds2, threads);
+    harness::SensitivitySweep f13_cold =
+        harness::runSensitivitySweepScheduled(make_gnmt, sens_lo,
+                                              sens_hi, sens_step,
+                                              threads);
+    harness::FigureSweep f15_cold =
+        harness::runFigureSweepScheduled(make_ds2, threads);
+    double reg_cold_sec = now() - t0;
+
+    // Prime the store: one DS2 figure sweep persists DS2 on all five
+    // configurations; the GNMT per-config snapshots stand in for the
+    // fig12/fig16 sweeps that share the store in a full bench run
+    // (fig13's sensitivity cells are lookup-only and never build).
+    // Per-process store path: concurrent bench invocations on one
+    // host (parallel CI jobs, two developers) must not clobber each
+    // other's files mid-measurement.
+    std::error_code store_ec;
+    std::filesystem::path store_dir =
+        std::filesystem::temp_directory_path(store_ec) /
+        csprintf("seqpoint_bench_snapshot_store.%ld",
+                 static_cast<long>(::getpid()));
+    if (store_ec)
+        store_dir = csprintf("bench_snapshot_store.%ld",
+                             static_cast<long>(::getpid()));
+    std::filesystem::remove_all(store_dir, store_ec);
+    double prime_sec;
+    {
+        harness::SnapshotRegistry prime(store_dir.string());
+        t0 = now();
+        (void)harness::runFigureSweepScheduled(make_ds2, threads,
+                                               &prime);
+        for (const auto &cfg : sim::GpuConfig::table2())
+            (void)prime.acquire(make_gnmt, cfg, threads);
+        prime_sec = now() - t0;
+    }
+
+    // Warmed trio: fresh registries on the primed store (a new
+    // process per bench, as CI runs them); every cell replays from
+    // disk, byte-identical to the cold runs.
+    t0 = now();
+    harness::SnapshotRegistry warm11(store_dir.string());
+    harness::FigureSweep f11_warm =
+        harness::runFigureSweepScheduled(make_ds2, threads, &warm11);
+    harness::SnapshotRegistry warm13(store_dir.string());
+    harness::SensitivitySweep f13_warm =
+        harness::runSensitivitySweepScheduled(make_gnmt, sens_lo,
+                                              sens_hi, sens_step,
+                                              threads, &warm13);
+    harness::SnapshotRegistry warm15(store_dir.string());
+    harness::FigureSweep f15_warm =
+        harness::runFigureSweepScheduled(make_ds2, threads, &warm15);
+    double reg_warm_sec = now() - t0;
+
+    bool reg_identical = f11_warm.identicalTo(f11_cold) &&
+        f13_warm.identicalTo(f13_cold) &&
+        f15_warm.identicalTo(f15_cold);
+    bool reg_no_builds = warm11.stats().builds == 0 &&
+        warm13.stats().builds == 0 && warm15.stats().builds == 0;
+    double sp_reg = reg_cold_sec / reg_warm_sec;
+    // Floor: warmed runs replace every simulation with store loads
+    // and measure ~2x on the CI container, but the cold side is
+    // already the memoized scheduled pipeline, so the margin is
+    // load-bound; gate at 1.5x to keep the guard robust on noisy
+    // shared runners (exported so CI applies the same contract).
+    double reg_floor = 1.5;
+
+    // Count only real snapshot files (.bin), skipping anything that
+    // fails to stat and any leftover .tmp from an interrupted writer;
+    // file_size(ec) returns uintmax_t(-1) on error, which would
+    // otherwise poison store_bytes.
+    size_t store_files = 0;
+    uintmax_t store_bytes = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(store_dir, store_ec)) {
+        if (entry.path().extension() != ".bin")
+            continue;
+        std::error_code size_ec;
+        uintmax_t bytes = entry.file_size(size_ec);
+        if (size_ec)
+            continue;
+        ++store_files;
+        store_bytes += bytes;
+    }
+
+    Table reg_table({"fig11+13+15 trio", "wall time", "speedup"});
+    reg_table.addRow({"cold (one cold start per bench)",
+                      csprintf("%.3fs", reg_cold_sec), "1.0x"});
+    reg_table.addRow({"store primed (fig11 + GNMT snapshots)",
+                      csprintf("%.3fs", prime_sec), "--"});
+    reg_table.addRow({csprintf("registry-warmed (%u threads)", threads),
+                      csprintf("%.3fs", reg_warm_sec),
+                      csprintf("%.1fx", sp_reg)});
+    std::printf("%s\n", reg_table.render(csprintf(
+        "Snapshot registry: cold benches vs a primed on-disk store "
+        "(%zu file(s), %.1f KiB)", store_files,
+        static_cast<double>(store_bytes) / 1024.0)).c_str());
+    std::printf("registry-warmed results byte-identical to cold: %s\n",
+                reg_identical ? "yes" : "NO -- BUG");
+    std::printf("warmed pass built nothing (all store hits): %s\n\n",
+                reg_no_builds ? "yes" : "NO -- BUG");
+
+    std::filesystem::remove_all(store_dir, store_ec);
+
+    // ------------------------------------------------------------------
     // JSON report.
     // ------------------------------------------------------------------
     FILE *f = std::fopen(json_path, "w");
@@ -334,6 +459,24 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"speedup_floor\": %.2f,\n", fig_floor);
     std::fprintf(f, "    \"identical\": %s\n",
                  fig_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"snapshot_registry\": {\n");
+    std::fprintf(f, "    \"benches\": \"fig11+fig13+fig15\",\n");
+    std::fprintf(f, "    \"format_version\": %u,\n",
+                 harness::kSnapshotFormatVersion);
+    std::fprintf(f, "    \"threads\": %u,\n", threads);
+    std::fprintf(f, "    \"cold_sec\": %.6f,\n", reg_cold_sec);
+    std::fprintf(f, "    \"prime_sec\": %.6f,\n", prime_sec);
+    std::fprintf(f, "    \"warmed_sec\": %.6f,\n", reg_warm_sec);
+    std::fprintf(f, "    \"speedup\": %.2f,\n", sp_reg);
+    std::fprintf(f, "    \"speedup_floor\": %.2f,\n", reg_floor);
+    std::fprintf(f, "    \"store_files\": %zu,\n", store_files);
+    std::fprintf(f, "    \"store_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(store_bytes));
+    std::fprintf(f, "    \"warmed_without_builds\": %s,\n",
+                 reg_no_builds ? "true" : "false");
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 reg_identical ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -359,6 +502,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: figure-pipeline speedup %.2fx "
                      "(need >= %.1fx), identical=%d\n", sp_fig,
                      fig_floor, fig_identical);
+        return 1;
+    }
+
+    // Snapshot-registry contract: the warmed trio is byte-identical
+    // to the cold one, replays entirely from the store (no builds),
+    // and beats the cold trio by the floor (warmed runs skip every
+    // epoch/autotune/timing simulation, so this holds on any core
+    // count).
+    if (!reg_identical || !reg_no_builds || sp_reg < reg_floor) {
+        std::fprintf(stderr, "FAIL: snapshot-registry speedup %.2fx "
+                     "(need >= %.1fx), identical=%d, no_builds=%d\n",
+                     sp_reg, reg_floor, reg_identical, reg_no_builds);
         return 1;
     }
     return 0;

@@ -37,10 +37,19 @@ emitPair(Table &table, harness::Experiment &exp, int64_t sl_a,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(opts);
+
     harness::Experiment gnmt(harness::makeGnmtWorkload());
     harness::Experiment ds2(harness::makeDs2Workload());
+
+    // Adopt reference-config cold starts the snapshot store already
+    // holds (lookup-only; a cold store changes nothing).
+    auto cfg1 = sim::GpuConfig::config1();
+    bench::adoptCachedSnapshot(registry.get(), gnmt, cfg1);
+    bench::adoptCachedSnapshot(registry.get(), ds2, cfg1);
 
     Table table({"iteration pair", "common", "only-in-1", "only-in-2",
                  "unique kernels"});

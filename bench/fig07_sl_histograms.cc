@@ -38,10 +38,19 @@ emit(harness::Experiment &exp, size_t buckets)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(opts);
+
     harness::Experiment ds2(harness::makeDs2Workload());
     harness::Experiment gnmt(harness::makeGnmtWorkload());
+
+    // Adopt reference-config cold starts the snapshot store already
+    // holds (lookup-only; a cold store changes nothing).
+    auto cfg1 = sim::GpuConfig::config1();
+    bench::adoptCachedSnapshot(registry.get(), ds2, cfg1);
+    bench::adoptCachedSnapshot(registry.get(), gnmt, cfg1);
 
     emit(ds2, 10);
     emit(gnmt, 10);

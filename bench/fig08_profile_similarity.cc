@@ -17,10 +17,15 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(opts);
+
     harness::Experiment gnmt(harness::makeGnmtWorkload());
     auto cfg1 = sim::GpuConfig::config1();
+    // Lookup-only store adoption; a cold store changes nothing.
+    bench::adoptCachedSnapshot(registry.get(), gnmt, cfg1);
 
     const std::vector<int64_t> sls{87, 89, 192, 197};
     gnmt.warmIterProfiles(cfg1, sls);

@@ -45,10 +45,19 @@ emit(harness::Experiment &exp, int64_t lo, int64_t hi, int64_t step)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(opts);
+
     harness::Experiment gnmt(harness::makeGnmtWorkload());
     harness::Experiment ds2(harness::makeDs2Workload());
+
+    // Adopt reference-config cold starts the snapshot store already
+    // holds (lookup-only; a cold store changes nothing).
+    auto cfg1 = sim::GpuConfig::config1();
+    bench::adoptCachedSnapshot(registry.get(), gnmt, cfg1);
+    bench::adoptCachedSnapshot(registry.get(), ds2, cfg1);
 
     emit(gnmt, 10, 210, 10);
     emit(ds2, 60, 440, 20);

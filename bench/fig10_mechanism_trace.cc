@@ -16,10 +16,16 @@
 using namespace seqpoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigOptions fig_opts = bench::parseFigArgs(argc, argv);
+    auto registry = bench::openRegistry(fig_opts);
+
     harness::Experiment exp(harness::makeGnmtWorkload());
     auto cfg1 = sim::GpuConfig::config1();
+    bench::warmExperiment(registry.get(),
+                          [] { return harness::makeGnmtWorkload(); },
+                          exp, cfg1);
     auto stats = exp.slStats(cfg1);
     core::SeqPointOptions opts = harness::Experiment::defaultOptions();
 
@@ -32,7 +38,12 @@ main()
                 stats.uniqueCount(), opts.uniqueSlThreshold);
 
     double actual = stats.actualTotal();
-    for (unsigned k = opts.initialBins;; ++k) {
+    // Clamp the refinement like selectSeqPoints() does: binEntries
+    // rejects k beyond the unique-SL count, and maxBins is the
+    // algorithm's own safety cap.
+    unsigned max_k = static_cast<unsigned>(std::min<size_t>(
+        opts.maxBins, stats.uniqueCount()));
+    for (unsigned k = opts.initialBins; k <= max_k; ++k) {
         core::SeqPointSet set = core::selectWithBins(stats, k, opts);
         std::printf("(2)-(5) k=%u: %zu SeqPoints, projected %.2fs, "
                     "error %.3f%%\n", k, set.points.size(),
@@ -55,8 +66,6 @@ main()
             break;
         }
         std::printf("(6) error above threshold: increment k\n");
-        if (k > opts.maxBins)
-            break;
     }
 
     bench::paperNote("the mechanism converged at k=15 bins for GNMT "

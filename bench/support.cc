@@ -37,10 +37,19 @@ parseFigArgs(int argc, char **argv)
                 std::exit(2);
             }
             opts.threads = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 &&
+                   i + 1 < argc) {
+            opts.snapshotDir = argv[++i];
+            if (opts.snapshotDir.empty()) {
+                std::fprintf(stderr,
+                             "--snapshot-dir: empty path\n");
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--serial] "
-                         "[--verify-serial]\n", argv[0]);
+                         "[--verify-serial] [--snapshot-dir PATH]\n",
+                         argv[0]);
             std::exit(2);
         }
     }
@@ -86,14 +95,66 @@ runVerifiedSweep(const FigOptions &opts, const char *what,
 
 } // anonymous namespace
 
+std::unique_ptr<harness::SnapshotRegistry>
+openRegistry(const FigOptions &opts)
+{
+    if (opts.snapshotDir.empty())
+        return nullptr;
+    return std::make_unique<harness::SnapshotRegistry>(
+        opts.snapshotDir);
+}
+
+void
+warmExperiment(harness::SnapshotRegistry *registry,
+               const harness::WorkloadFactory &make,
+               harness::Experiment &exp, const sim::GpuConfig &cfg)
+{
+    if (!registry)
+        return;
+    // Key off the experiment's own workload: a registry hit then
+    // costs no second workload construction; only a cold build runs
+    // the factory.
+    exp.seedFrom(registry->acquire(exp.workload(), make, cfg,
+                                   exp.profileThreads(),
+                                   exp.options()));
+}
+
+void
+adoptCachedSnapshot(harness::SnapshotRegistry *registry,
+                    harness::Experiment &exp,
+                    const sim::GpuConfig &cfg)
+{
+    if (!registry)
+        return;
+    auto snap = registry->cached(
+        harness::snapshotKeyFor(exp.workload(), exp.options(), cfg));
+    if (snap)
+        exp.seedFrom(std::move(snap));
+}
+
+void
+warmTable2(harness::SnapshotRegistry *registry,
+           const harness::WorkloadFactory &make,
+           harness::Experiment &exp)
+{
+    if (!registry)
+        return;
+    auto cfgs = sim::GpuConfig::table2();
+    warmExperiment(registry, make, exp, cfgs[0]);
+    for (size_t c = 1; c < cfgs.size(); ++c)
+        adoptCachedSnapshot(registry, exp, cfgs[c]);
+}
+
 harness::FigureSweep
 runFigureSweep(const harness::WorkloadFactory &make,
                const FigOptions &opts)
 {
+    auto registry = openRegistry(opts);
     return runVerifiedSweep<harness::FigureSweep>(
         opts, "figure",
         [&] { return harness::runFigureSweepScheduled(make,
-                                                      opts.threads); },
+                                                      opts.threads,
+                                                      registry.get()); },
         [&] { return harness::runFigureSweepSerial(
                   make, opts.serial ? opts.threads : 0); });
 }
@@ -193,11 +254,13 @@ printSensitivityFigure(const harness::WorkloadFactory &make,
                        int64_t sl_hi, int64_t step,
                        const FigOptions &opts)
 {
+    auto registry = openRegistry(opts);
     harness::SensitivitySweep sweep =
         runVerifiedSweep<harness::SensitivitySweep>(
             opts, "sensitivity",
             [&] { return harness::runSensitivitySweepScheduled(
-                      make, sl_lo, sl_hi, step, opts.threads); },
+                      make, sl_lo, sl_hi, step, opts.threads,
+                      registry.get()); },
             [&] { return harness::runSensitivitySweepSerial(
                       make, sl_lo, sl_hi, step,
                       opts.serial ? opts.threads : 0); });

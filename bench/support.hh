@@ -11,12 +11,14 @@
 #ifndef SEQPOINT_BENCH_SUPPORT_HH
 #define SEQPOINT_BENCH_SUPPORT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats_math.hh"
 #include "common/strutil.hh"
 #include "harness/figures.hh"
+#include "harness/snapshot_registry.hh"
 
 namespace seqpoint {
 namespace bench {
@@ -35,13 +37,71 @@ struct FigOptions {
     bool serial = false;       ///< Run the legacy serial pipeline.
     bool verifySerial = false; ///< Also run serially and require
                                ///< byte-identical results (CI guard).
+    std::string snapshotDir;   ///< Snapshot store directory; ""
+                               ///< disables the persistent registry.
 };
 
 /**
  * Parse figure-bench arguments: --threads N, --serial,
- * --verify-serial. Unknown arguments print usage and exit(2).
+ * --verify-serial, --snapshot-dir PATH. Unknown arguments print
+ * usage and exit(2).
  */
 FigOptions parseFigArgs(int argc, char **argv);
+
+/**
+ * Open the persistent snapshot registry named by --snapshot-dir
+ * (creating the store directory), or null when the flag is unset.
+ * The serial pipeline never consults the registry, so --serial runs
+ * are unaffected even with a store attached.
+ */
+std::unique_ptr<harness::SnapshotRegistry>
+openRegistry(const FigOptions &opts);
+
+/**
+ * Adopt the registry's snapshot for (make's workload, cfg) into a
+ * freshly constructed experiment: reuse it if cached (memory or
+ * store), build-and-persist it otherwise. A null registry is a
+ * no-op. Must be called before the experiment's first query; seeded
+ * queries are bit-identical to cold ones.
+ *
+ * @param registry Registry from openRegistry(), may be null.
+ * @param make Factory producing the same workload `exp` runs.
+ * @param exp Experiment to seed.
+ * @param cfg Configuration whose cold start to share.
+ */
+void warmExperiment(harness::SnapshotRegistry *registry,
+                    const harness::WorkloadFactory &make,
+                    harness::Experiment &exp,
+                    const sim::GpuConfig &cfg);
+
+/**
+ * Adopt the registry's *cached* snapshot for (exp's workload, cfg)
+ * into a freshly constructed experiment, if one exists in memory or
+ * in the store; lookup-only, never builds. A null registry or a miss
+ * is a no-op. Must be called before the experiment's first query.
+ *
+ * @param registry Registry from openRegistry(), may be null.
+ * @param exp Experiment to seed.
+ * @param cfg Configuration whose cold start to adopt.
+ */
+void adoptCachedSnapshot(harness::SnapshotRegistry *registry,
+                         harness::Experiment &exp,
+                         const sim::GpuConfig &cfg);
+
+/**
+ * The cross-config bench warming policy in one call: get-or-build
+ * the Table II reference configuration's snapshot (the bench always
+ * needs it) and adopt any of the remaining Table II cold starts the
+ * store already holds (lookup-only). A null registry is a no-op.
+ * Must be called before the experiment's first query.
+ *
+ * @param registry Registry from openRegistry(), may be null.
+ * @param make Factory producing the same workload `exp` runs.
+ * @param exp Experiment to seed.
+ */
+void warmTable2(harness::SnapshotRegistry *registry,
+                const harness::WorkloadFactory &make,
+                harness::Experiment &exp);
 
 /**
  * Evaluate the fig11/15-style sweep per `opts`: the scheduler-backed

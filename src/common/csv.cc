@@ -15,7 +15,10 @@ namespace seqpoint {
 std::string
 CsvWriter::escape(const std::string &cell)
 {
-    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    // \r must quote too: a bare carriage return splits the row for
+    // CRLF-aware readers exactly like a newline would.
+    bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quote)
         return cell;
     std::string out = "\"";

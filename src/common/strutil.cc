@@ -68,12 +68,16 @@ std::string
 compactDouble(double value, int max_decimals)
 {
     std::string s = csprintf("%.*f", max_decimals, value);
-    if (s.find('.') == std::string::npos)
-        return s;
-    while (!s.empty() && s.back() == '0')
-        s.pop_back();
-    if (!s.empty() && s.back() == '.')
-        s.pop_back();
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0')
+            s.pop_back();
+        if (!s.empty() && s.back() == '.')
+            s.pop_back();
+    }
+    // Tiny negatives round (or trim) to "-0"; the sign carries no
+    // information at this precision, so normalise to "0".
+    if (s == "-0")
+        s = "0";
     return s;
 }
 

@@ -69,6 +69,13 @@ binEntries(const SlStats &stats, unsigned k, BinningMode mode)
 {
     fatal_if(k == 0, "binEntries: zero bucket count");
     panic_if(stats.uniqueCount() == 0, "binEntries: empty stats");
+    // More buckets than unique SLs cannot be honoured: both modes
+    // would quietly return at most uniqueCount() bins, which callers
+    // (e.g. a fixed-k ablation) would misread as a k-bucket split.
+    fatal_if(k > stats.uniqueCount(),
+             "binEntries: %u bucket(s) requested but only %zu unique "
+             "SL(s) exist; clamp k to the unique count",
+             k, stats.uniqueCount());
 
     switch (mode) {
       case BinningMode::EqualWidth:

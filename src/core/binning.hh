@@ -34,13 +34,20 @@ struct Bin {
 /**
  * Bin the unique SLs into at most k non-empty buckets.
  *
+ * Contract: k must lie in [1, stats.uniqueCount()] -- requesting more
+ * buckets than unique SLs is a fatal error, not a silent clamp (both
+ * modes would otherwise degenerate to at most uniqueCount() bins and
+ * callers would misread the result as a k-bucket split; clamp k
+ * yourself the way selectSeqPoints() does). Within that range,
  * EqualWidth places boundaries at equal SL intervals across
- * [minSl, maxSl]; buckets that receive no unique SL are dropped, so
- * fewer than k bins may be returned. EqualFrequency balances the
- * iteration counts instead.
+ * [minSl, maxSl] and drops buckets that receive no unique SL, so
+ * *fewer* than k bins may still be returned; EqualFrequency balances
+ * the iteration counts instead and also returns at most k bins. Every
+ * returned bucket is non-empty and the buckets tile
+ * [0, uniqueCount()) in ascending SL order.
  *
  * @param stats Per-SL statistics.
- * @param k Requested bucket count (>= 1).
+ * @param k Requested bucket count, in [1, stats.uniqueCount()].
  * @param mode Boundary placement policy.
  * @return Non-empty buckets in ascending SL order.
  */

@@ -185,5 +185,74 @@ selectSeqPoints(const SlStats &stats, const SeqPointOptions &opts)
     return best;
 }
 
+void
+encodeSeqPointOptions(ByteWriter &w, const SeqPointOptions &opts)
+{
+    w.u32(opts.uniqueSlThreshold);
+    w.u32(opts.initialBins);
+    w.f64(opts.errorThreshold);
+    w.u32(opts.maxBins);
+    w.u32(static_cast<uint32_t>(opts.binning));
+    w.u32(static_cast<uint32_t>(opts.repPick));
+}
+
+SeqPointOptions
+decodeSeqPointOptions(ByteReader &r)
+{
+    SeqPointOptions opts;
+    opts.uniqueSlThreshold = r.u32();
+    opts.initialBins = r.u32();
+    opts.errorThreshold = r.f64();
+    opts.maxBins = r.u32();
+    uint32_t binning = r.u32();
+    fatal_if(binning > static_cast<uint32_t>(BinningMode::EqualFrequency),
+             "%s: invalid binning mode %u", r.what().c_str(), binning);
+    opts.binning = static_cast<BinningMode>(binning);
+    uint32_t pick = r.u32();
+    fatal_if(pick > static_cast<uint32_t>(RepPick::MostFrequent),
+             "%s: invalid representative-pick policy %u",
+             r.what().c_str(), pick);
+    opts.repPick = static_cast<RepPick>(pick);
+    return opts;
+}
+
+void
+encodeSeqPointSet(ByteWriter &w, const SeqPointSet &set)
+{
+    w.u64(set.points.size());
+    for (const SeqPointRecord &p : set.points) {
+        w.i64(p.seqLen);
+        w.f64(p.weight);
+        w.f64(p.statValue);
+    }
+    w.u32(set.binsUsed);
+    w.b(set.usedAllUnique);
+    w.b(set.converged);
+    w.f64(set.selfError);
+}
+
+SeqPointSet
+decodeSeqPointSet(ByteReader &r)
+{
+    SeqPointSet set;
+    uint64_t n = r.u64();
+    fatal_if(n > r.remaining() / 24,
+             "%s: SeqPoint count %llu exceeds the payload",
+             r.what().c_str(), static_cast<unsigned long long>(n));
+    set.points.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        SeqPointRecord p;
+        p.seqLen = r.i64();
+        p.weight = r.f64();
+        p.statValue = r.f64();
+        set.points.push_back(p);
+    }
+    set.binsUsed = r.u32();
+    set.usedAllUnique = r.b();
+    set.converged = r.b();
+    set.selfError = r.f64();
+    return set;
+}
+
 } // namespace core
 } // namespace seqpoint

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "core/binning.hh"
 #include "core/sl_log.hh"
 
@@ -128,6 +129,25 @@ SeqPointSet selectSeqPoints(const SlStats &stats,
  */
 SeqPointSet selectWithBins(const SlStats &stats, unsigned k,
                            const SeqPointOptions &opts = SeqPointOptions{});
+
+/**
+ * Serialize the selection tunables (snapshot store). The decoded
+ * options compare equal under operator==, so snapshot identity
+ * guards keyed on them keep working across a save/load cycle.
+ */
+void encodeSeqPointOptions(ByteWriter &w, const SeqPointOptions &opts);
+
+/**
+ * Decode options written by encodeSeqPointOptions(). Out-of-range
+ * policy enums are fatal (corrupted artifact).
+ */
+SeqPointOptions decodeSeqPointOptions(ByteReader &r);
+
+/** Serialize a representative set (snapshot store), bit-exactly. */
+void encodeSeqPointSet(ByteWriter &w, const SeqPointSet &set);
+
+/** Decode a set written by encodeSeqPointSet(). */
+SeqPointSet decodeSeqPointSet(ByteReader &r);
 
 } // namespace core
 } // namespace seqpoint

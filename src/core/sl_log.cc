@@ -119,5 +119,35 @@ SlStats::medianSl() const
     return entries_.back().seqLen;
 }
 
+void
+encodeSlStats(ByteWriter &w, const SlStats &stats)
+{
+    w.u64(stats.entries().size());
+    for (const SlEntry &e : stats.entries()) {
+        w.i64(e.seqLen);
+        w.u64(e.freq);
+        w.f64(e.statValue);
+    }
+}
+
+SlStats
+decodeSlStats(ByteReader &r)
+{
+    uint64_t n = r.u64();
+    fatal_if(n > r.remaining() / 24,
+             "%s: SL-entry count %llu exceeds the payload",
+             r.what().c_str(), static_cast<unsigned long long>(n));
+    std::vector<SlEntry> entries;
+    entries.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        SlEntry e;
+        e.seqLen = r.i64();
+        e.freq = r.u64();
+        e.statValue = r.f64();
+        entries.push_back(e);
+    }
+    return SlStats::fromEntries(std::move(entries));
+}
+
 } // namespace core
 } // namespace seqpoint

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bytestream.hh"
+
 namespace seqpoint {
 namespace core {
 
@@ -89,6 +91,15 @@ class SlStats
   private:
     std::vector<SlEntry> entries_;
 };
+
+/**
+ * Serialize per-SL statistics (snapshot store). Entries round-trip
+ * bit-exactly and stay in ascending-SL order.
+ */
+void encodeSlStats(ByteWriter &w, const SlStats &stats);
+
+/** Decode statistics written by encodeSlStats(). */
+SlStats decodeSlStats(ByteReader &r);
 
 } // namespace core
 } // namespace seqpoint

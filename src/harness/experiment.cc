@@ -49,11 +49,13 @@ Experiment::state(const sim::GpuConfig &cfg)
                                       timingCache, memoizeProfiles));
     ConfigState &st = *states.back();
 
-    // Seed the new state from the adopted snapshot when it covers
-    // exactly this configuration. Everything copied in is a pure
+    // Seed the new state from the adopted snapshot covering exactly
+    // this configuration, if any. Everything copied in is a pure
     // function of (workload, configuration), so seeded queries are
     // bit-identical to cold ones; other configurations start cold.
-    if (seed && seed->config == cfg) {
+    for (const auto &seed : seeds) {
+        if (!(seed->config == cfg))
+            continue;
         st.tuner.seed(seed->tunerEntries);
         if (st.gpu.timingCacheEnabled())
             st.gpu.seedTimingCache(seed->timingEntries);
@@ -62,6 +64,7 @@ Experiment::state(const sim::GpuConfig &cfg)
         st.log = std::make_unique<prof::TrainLog>(seed->log);
         st.stats = std::make_unique<core::SlStats>(seed->stats);
         st.selections = seed->selections;
+        break;
     }
     return st;
 }
@@ -89,7 +92,7 @@ Experiment::setMemoizeProfiles(bool enable)
              enable, states.size(), memoizeProfiles);
     // An adopted snapshot seeds profile memos, which need memoization
     // (the same precondition seedFrom() itself checks).
-    panic_if(!enable && seed,
+    panic_if(!enable && !seeds.empty(),
              "Experiment::setMemoizeProfiles(false) after seedFrom(); "
              "snapshot seeding requires profile memoization");
     memoizeProfiles = enable;
@@ -291,7 +294,7 @@ void
 Experiment::seedFrom(std::shared_ptr<const ModelSnapshot> snap)
 {
     if (!snap) {
-        seed = nullptr;
+        seeds.clear();
         return;
     }
     panic_if(!states.empty(),
@@ -317,7 +320,14 @@ Experiment::seedFrom(std::shared_ptr<const ModelSnapshot> snap)
              wl.name.c_str());
     panic_if(!memoizeProfiles,
              "Experiment::seedFrom requires profile memoization");
-    seed = std::move(snap);
+    // One snapshot per configuration: a second snapshot for an
+    // already-adopted config would silently shadow the first.
+    for (const auto &seed : seeds) {
+        panic_if(seed->config == snap->config,
+                 "Experiment::seedFrom: a snapshot for configuration "
+                 "'%s' was already adopted", snap->config.name.c_str());
+    }
+    seeds.push_back(std::move(snap));
 }
 
 } // namespace harness

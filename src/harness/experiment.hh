@@ -199,19 +199,23 @@ class Experiment
     snapshot(const sim::GpuConfig &cfg);
 
     /**
-     * Adopt a snapshot as this experiment's shared cold-start state.
-     * When per-config state is later created for a configuration
-     * equal to snap->config, it is seeded with the snapshot's caches,
+     * Adopt a snapshot as shared cold-start state. When per-config
+     * state is later created for a configuration equal to
+     * snap->config, it is seeded with the snapshot's caches,
      * profiles, epoch log and selections instead of recomputing them;
      * all other configurations stay cold. Seeded queries are
      * bit-identical to cold ones (everything seeded is a pure
      * function of workload x configuration).
      *
-     * Must be called before the first per-config query, on an
-     * experiment for the same workload, with memoization enabled.
+     * May be called repeatedly (before the first per-config query) to
+     * adopt one snapshot per configuration -- e.g. every Table II
+     * cold start a snapshot store already holds; adopting two
+     * snapshots for the same configuration is a misuse panic, as is
+     * any workload/run-parameter mismatch or seeding with
+     * memoization disabled.
      *
      * @param snap Snapshot from Experiment::snapshot() (shared, not
-     *             copied; may be null for "no snapshot").
+     *             copied; null drops every adopted snapshot).
      */
     void seedFrom(std::shared_ptr<const ModelSnapshot> snap);
 
@@ -244,8 +248,11 @@ class Experiment
      */
     std::vector<std::unique_ptr<ConfigState>> states;
 
-    /** Shared cold-start state adopted via seedFrom(), or null. */
-    std::shared_ptr<const ModelSnapshot> seed;
+    /**
+     * Shared cold-start states adopted via seedFrom(), at most one
+     * per configuration (resolved by GpuConfig equality in state()).
+     */
+    std::vector<std::shared_ptr<const ModelSnapshot>> seeds;
 
     ConfigState &state(const sim::GpuConfig &cfg);
 };

@@ -90,22 +90,33 @@ runFigureSweepSerial(const WorkloadFactory &make,
 }
 
 FigureSweep
-runFigureSweepScheduled(const WorkloadFactory &make, unsigned threads)
+runFigureSweepScheduled(const WorkloadFactory &make, unsigned threads,
+                        SnapshotRegistry *registry)
 {
     auto cfgs = sim::GpuConfig::table2();
     unsigned t = defaultThreads(threads);
 
     // Phase 1 -- shared cold start: lower/autotune the model, run the
     // reference epoch (inner-parallel per-SL sweep) and build every
-    // selection once, then freeze it all into one snapshot.
-    Experiment ref(make());
-    ref.setProfileThreads(t);
-    auto snap = ref.snapshot(cfgs[0]);
+    // selection once, then freeze it all into one snapshot. With a
+    // registry that build is acquired through it instead -- reused if
+    // something already paid it, persisted for later consumers if not.
+    std::shared_ptr<const ModelSnapshot> snap;
+    if (registry) {
+        snap = registry->acquire(make, cfgs[0], t);
+    } else {
+        Experiment ref(make());
+        ref.setProfileThreads(t);
+        snap = ref.snapshot(cfgs[0]);
+    }
 
-    // Phase 2 -- one scheduler cell per configuration, all seeded
-    // from the snapshot. The reference cell replays from it; the
-    // others pay only their own configuration's state. Projections
-    // use the shared selections, so no cell rebuilds them.
+    // Phase 2 -- one scheduler cell per configuration. Without a
+    // registry every cell is seeded from the reference snapshot (the
+    // reference cell replays from it; the others pay their own
+    // configuration's state). With one, each cell acquires its own
+    // configuration's snapshot, so non-reference cold starts are
+    // shared and persisted too. Projections use the shared reference
+    // selections either way, so no cell rebuilds them.
     ExperimentScheduler sched(
         std::min<unsigned>(t, static_cast<unsigned>(cfgs.size())));
     std::function<FigureColumn(Experiment &, const sim::GpuConfig &)>
@@ -114,8 +125,13 @@ runFigureSweepScheduled(const WorkloadFactory &make, unsigned threads)
         };
 
     FigureSweep sweep;
-    sweep.columns = sched.mapCells<FigureColumn>({make}, cfgs, eval,
-                                                 {snap});
+    if (registry) {
+        sweep.columns =
+            sched.mapCells<FigureColumn>({make}, cfgs, eval, *registry);
+    } else {
+        sweep.columns = sched.mapCells<FigureColumn>({make}, cfgs, eval,
+                                                     {snap});
+    }
     sweep.selections = snap->selections;
     return sweep;
 }
@@ -169,7 +185,8 @@ runSensitivitySweepSerial(const WorkloadFactory &make, int64_t sl_lo,
 SensitivitySweep
 runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
                              int64_t sl_hi, int64_t step,
-                             unsigned threads)
+                             unsigned threads,
+                             SnapshotRegistry *registry)
 {
     auto cfgs = sim::GpuConfig::table2();
     unsigned t = defaultThreads(threads);
@@ -195,8 +212,23 @@ runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
             return r;
         };
 
+    // Lookup-only seeding: a sensitivity sweep profiles a handful of
+    // SLs and must never pay an epoch it does not need, so cells only
+    // adopt snapshots the registry already holds (typically from a
+    // sibling figure sweep) -- the autotune and kernel-timing caches
+    // plus any overlapping per-SL profiles come for free, and the
+    // swept SLs they miss are profiled as usual (bit-identically).
+    ExperimentScheduler::SnapshotProvider provider;
+    if (registry) {
+        provider = [registry](std::size_t, const sim::GpuConfig &cfg,
+                              Experiment &exp) {
+            return registry->cached(snapshotKeyFor(
+                exp.workload(), exp.options(), cfg));
+        };
+    }
+
     std::vector<CellResult> cells =
-        sched.mapCells<CellResult>({make}, cfgs, eval);
+        sched.mapCells<CellResult>({make}, cfgs, eval, provider);
 
     SensitivitySweep sweep;
     sweep.sls = std::move(sls); // after the cells are done with it

@@ -80,11 +80,20 @@ FigureSweep runFigureSweepSerial(const WorkloadFactory &make,
  * only their own configuration's state. Byte-identical to
  * runFigureSweepSerial() for any thread count.
  *
+ * With a registry, every snapshot (the reference one and each cell's
+ * own configuration) is acquired through it instead of built inline:
+ * anything the registry already holds -- from an earlier sweep in
+ * this process or, with a store directory, from another bench binary
+ * or CI run -- is reused, and every build is left behind for later
+ * consumers. Still byte-identical; only wall time changes.
+ *
  * @param make Workload factory.
  * @param threads Scheduler width; 0 picks the hardware concurrency.
+ * @param registry Optional snapshot registry.
  */
 FigureSweep runFigureSweepScheduled(const WorkloadFactory &make,
-                                    unsigned threads = 0);
+                                    unsigned threads = 0,
+                                    SnapshotRegistry *registry = nullptr);
 
 /**
  * The fig13/14-style per-SL sensitivity series: iteration times for
@@ -123,16 +132,25 @@ SensitivitySweep runSensitivitySweepSerial(const WorkloadFactory &make,
  * (no epoch and no snapshot needed: cells only profile the swept
  * SLs). Byte-identical to the serial path for any thread count.
  *
+ * With a registry, each cell seeds from the registry's *cached*
+ * snapshot for its own (workload, configuration) -- typically left
+ * behind by a sibling figure sweep -- and profiles only the swept
+ * SLs the snapshot's epoch did not cover. Lookup-only: a sensitivity
+ * sweep never pays an epoch it does not need, so a cold registry
+ * changes nothing. Still byte-identical either way.
+ *
  * @param make Workload factory.
  * @param sl_lo Sweep start.
  * @param sl_hi Sweep end (inclusive).
  * @param step Sweep step.
  * @param threads Scheduler width; 0 picks the hardware concurrency.
+ * @param registry Optional snapshot registry.
  */
 SensitivitySweep
 runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
                              int64_t sl_hi, int64_t step,
-                             unsigned threads = 0);
+                             unsigned threads = 0,
+                             SnapshotRegistry *registry = nullptr);
 
 } // namespace harness
 } // namespace seqpoint

@@ -42,27 +42,44 @@ ExperimentScheduler::forEachCell(
     pool.parallelFor(cells, body);
 }
 
+namespace {
+
+/** The standard epoch-sweep cell body, shared by both overloads. */
+EpochCellResult
+epochCell(Experiment &exp, const sim::GpuConfig &cfg)
+{
+    const prof::TrainLog &log = exp.epochLog(cfg);
+    EpochCellResult r;
+    r.workload = exp.workload().name;
+    r.config = cfg.name;
+    r.iterations = log.numIterations();
+    r.trainSec = log.trainSec;
+    r.evalSec = log.evalSec;
+    r.throughput = log.throughput(exp.workload().batchSize);
+    r.counters = log.counters;
+    return r;
+}
+
+} // anonymous namespace
+
 std::vector<EpochCellResult>
 ExperimentScheduler::epochSweep(
     const std::vector<WorkloadFactory> &workloads,
     const std::vector<sim::GpuConfig> &configs,
     const Snapshots &snapshots) const
 {
-    return mapCells<EpochCellResult>(
-        workloads, configs,
-        [](Experiment &exp, const sim::GpuConfig &cfg) {
-            const prof::TrainLog &log = exp.epochLog(cfg);
-            EpochCellResult r;
-            r.workload = exp.workload().name;
-            r.config = cfg.name;
-            r.iterations = log.numIterations();
-            r.trainSec = log.trainSec;
-            r.evalSec = log.evalSec;
-            r.throughput = log.throughput(exp.workload().batchSize);
-            r.counters = log.counters;
-            return r;
-        },
-        snapshots);
+    return mapCells<EpochCellResult>(workloads, configs, epochCell,
+                                     snapshots);
+}
+
+std::vector<EpochCellResult>
+ExperimentScheduler::epochSweep(
+    const std::vector<WorkloadFactory> &workloads,
+    const std::vector<sim::GpuConfig> &configs,
+    SnapshotRegistry &registry) const
+{
+    return mapCells<EpochCellResult>(workloads, configs, epochCell,
+                                     registry);
 }
 
 } // namespace harness

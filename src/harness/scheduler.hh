@@ -22,12 +22,10 @@
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
 #include "harness/snapshot.hh"
+#include "harness/snapshot_registry.hh"
 
 namespace seqpoint {
 namespace harness {
-
-/** Builds a fresh workload instance for one isolated sweep cell. */
-using WorkloadFactory = std::function<Workload()>;
 
 /** Epoch-level measurements of one (workload, config) sweep cell. */
 struct EpochCellResult {
@@ -89,14 +87,63 @@ class ExperimentScheduler
         std::vector<std::shared_ptr<const ModelSnapshot>>;
 
     /**
-     * Evaluate `eval` on every (workload x config) cell.
+     * Per-cell snapshot source for mapCells(): invoked on the cell's
+     * pool thread with (workload row, cell configuration, the cell's
+     * freshly constructed Experiment) before the cell body runs; the
+     * returned snapshot (null allowed) seeds that Experiment. The
+     * Experiment is passed so providers can derive snapshot identity
+     * from its workload()/options() without building a second
+     * workload instance; providers must not run per-config queries
+     * on it (seeding must precede the first query). Must be
+     * thread-safe -- SnapshotRegistry lookups qualify (single-flight
+     * per key).
+     */
+    using SnapshotProvider =
+        std::function<std::shared_ptr<const ModelSnapshot>(
+            std::size_t, const sim::GpuConfig &, Experiment &)>;
+
+    /**
+     * Evaluate `eval` on every (workload x config) cell, seeding each
+     * cell from `snapshots` (per-cell source; may be null).
      *
      * @param workloads Workload factories, one per sweep row.
      * @param configs Hardware configurations, one per sweep column.
      * @param eval Cell body; runs on a pool thread with a private
      *             Experiment. Must not touch shared mutable state.
-     * @param snapshots Optional per-workload cold-start snapshots.
+     * @param snapshots Per-cell snapshot source, or null for none.
      * @return Results in workload-major, config-minor order.
+     */
+    template <typename R>
+    std::vector<R>
+    mapCells(const std::vector<WorkloadFactory> &workloads,
+             const std::vector<sim::GpuConfig> &configs,
+             const std::function<R(Experiment &,
+                                   const sim::GpuConfig &)> &eval,
+             const SnapshotProvider &snapshots) const
+    {
+        // vector<bool> packs bits, so concurrent element writes from
+        // pool threads would race; wrap bools in a struct instead.
+        static_assert(!std::is_same_v<R, bool>,
+                      "mapCells<bool> would race on vector<bool> bits");
+        std::vector<R> results(workloads.size() * configs.size());
+        forEachCell(workloads.size(), configs.size(),
+                    [&](std::size_t cell, std::size_t w, std::size_t c) {
+                        Experiment exp(workloads[w]());
+                        exp.setProfileThreads(
+                            cellProfileThreads ? cellProfileThreads : 1);
+                        if (snapshots)
+                            exp.seedFrom(snapshots(w, configs[c], exp));
+                        results[cell] = eval(exp, configs[c]);
+                    });
+        return results;
+    }
+
+    /**
+     * Evaluate `eval` on every cell with per-workload-row snapshots:
+     * either empty (no sharing) or one entry per workload row, where
+     * entry w (null allowed) seeds every cell of row w. Cells whose
+     * configuration matches their row snapshot skip the cold start;
+     * all other cells run cold. Byte-identical either way.
      */
     template <typename R>
     std::vector<R>
@@ -106,25 +153,56 @@ class ExperimentScheduler
                                    const sim::GpuConfig &)> &eval,
              const Snapshots &snapshots = {}) const
     {
-        // vector<bool> packs bits, so concurrent element writes from
-        // pool threads would race; wrap bools in a struct instead.
-        static_assert(!std::is_same_v<R, bool>,
-                      "mapCells<bool> would race on vector<bool> bits");
         panic_if(!snapshots.empty() &&
                      snapshots.size() != workloads.size(),
                  "mapCells: %zu snapshot(s) for %zu workload row(s)",
                  snapshots.size(), workloads.size());
-        std::vector<R> results(workloads.size() * configs.size());
-        forEachCell(workloads.size(), configs.size(),
-                    [&](std::size_t cell, std::size_t w, std::size_t c) {
-                        Experiment exp(workloads[w]());
-                        exp.setProfileThreads(
-                            cellProfileThreads ? cellProfileThreads : 1);
-                        if (!snapshots.empty())
-                            exp.seedFrom(snapshots[w]);
-                        results[cell] = eval(exp, configs[c]);
-                    });
-        return results;
+        SnapshotProvider provider;
+        if (!snapshots.empty()) {
+            provider = [&snapshots](std::size_t w,
+                                    const sim::GpuConfig &,
+                                    Experiment &) {
+                return snapshots[w];
+            };
+        }
+        return mapCells<R>(workloads, configs, eval, provider);
+    }
+
+    /**
+     * Evaluate `eval` on every cell with the registry as the snapshot
+     * source: each cell acquires (get-or-build, single-flight) the
+     * snapshot for its own (workload, configuration) identity, so a
+     * sweep both auto-warms from earlier builds -- in-process or, with
+     * a store directory, from earlier bench binaries and CI runs --
+     * and leaves every cell's cold start behind for later consumers.
+     * Byte-identical to the registry-free sweep at any thread count.
+     *
+     * @param workloads Workload factories, one per sweep row.
+     * @param configs Hardware configurations, one per sweep column.
+     * @param eval Cell body (see above).
+     * @param registry Snapshot registry (shared; thread-safe).
+     * @return Results in workload-major, config-minor order.
+     */
+    template <typename R>
+    std::vector<R>
+    mapCells(const std::vector<WorkloadFactory> &workloads,
+             const std::vector<sim::GpuConfig> &configs,
+             const std::function<R(Experiment &,
+                                   const sim::GpuConfig &)> &eval,
+             SnapshotRegistry &registry) const
+    {
+        unsigned inner = cellProfileThreads ? cellProfileThreads : 1;
+        return mapCells<R>(
+            workloads, configs, eval,
+            SnapshotProvider([&registry, &workloads, inner](
+                                 std::size_t w,
+                                 const sim::GpuConfig &cfg,
+                                 Experiment &exp) {
+                // Key from the cell's own workload instance -- a
+                // cache hit costs no second workload build.
+                return registry.acquire(exp.workload(), workloads[w],
+                                        cfg, inner, exp.options());
+            }));
     }
 
     /**
@@ -140,6 +218,22 @@ class ExperimentScheduler
     epochSweep(const std::vector<WorkloadFactory> &workloads,
                const std::vector<sim::GpuConfig> &configs,
                const Snapshots &snapshots = {}) const;
+
+    /**
+     * Registry-aware epoch sweep: every cell acquires its own
+     * (workload, configuration) snapshot from the registry -- reusing
+     * any cached/persisted cold start and building (and persisting)
+     * the missing ones. Byte-identical to the registry-free sweep.
+     *
+     * @param workloads Workload factories.
+     * @param configs Hardware configurations.
+     * @param registry Snapshot registry (shared; thread-safe).
+     * @return Cell results in workload-major, config-minor order.
+     */
+    std::vector<EpochCellResult>
+    epochSweep(const std::vector<WorkloadFactory> &workloads,
+               const std::vector<sim::GpuConfig> &configs,
+               SnapshotRegistry &registry) const;
 
   private:
     unsigned numThreads;

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Persistent ModelSnapshot serialization: a versioned, endian-stable
+ * binary format that lets one process's cold start (model lowering,
+ * autotune, kernel timing, the reference epoch and every selection)
+ * seed another process bit-identically -- the checkpoint-reuse
+ * discipline applied across bench binaries and CI runs.
+ *
+ * A snapshot file is only ever adopted whole: the header carries a
+ * format magic, a format version and a payload checksum, and the
+ * payload carries the full identity the snapshotted state is a
+ * function of (workload, every GpuConfig parameter, every run
+ * parameter). Any mismatch -- wrong magic, wrong version, truncation,
+ * corruption, or an identity that differs from what the caller
+ * expects -- is a fatal error. A stale or foreign file can never
+ * silently half-seed an experiment.
+ */
+
+#ifndef SEQPOINT_HARNESS_SNAPSHOT_IO_HH
+#define SEQPOINT_HARNESS_SNAPSHOT_IO_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/seqpoint.hh"
+#include "harness/snapshot.hh"
+#include "harness/workloads.hh"
+
+namespace seqpoint {
+namespace harness {
+
+/**
+ * On-disk format version. Bump on ANY change to the encoded layout or
+ * to the semantics of an encoded field; old files then fail the
+ * version check (and the store file name changes too, so a shared
+ * cache simply rebuilds instead of erroring).
+ */
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/**
+ * Full identity of a snapshot: everything the snapshotted state is a
+ * pure function of. Two snapshots with equal keys are interchangeable
+ * (bit-identical results); everything else must never be mixed.
+ */
+struct SnapshotKey {
+    std::string workload;        ///< Workload name.
+    std::string configSignature; ///< GpuConfig::signature() (lossless).
+    std::string paramDigest;     ///< Lossless run-parameter render.
+
+    /** @return The registry cache key (all three parts joined). */
+    std::string cacheKey() const;
+
+    /**
+     * Store file name: "snap-v<version>-<fnv64(cacheKey)>.bin". The
+     * format version is part of the name, so a format bump invalidates
+     * a shared store by construction (old files are never opened).
+     */
+    std::string fileName() const;
+
+    /** Field-wise equality. */
+    bool operator==(const SnapshotKey &other) const = default;
+};
+
+/**
+ * Key for (workload, options, configuration) -- what an Experiment
+ * for `wl` with tunables `opts` would need on configuration `cfg`.
+ */
+SnapshotKey snapshotKeyFor(const Workload &wl,
+                           const core::SeqPointOptions &opts,
+                           const sim::GpuConfig &cfg);
+
+/** Key a snapshot claims for itself (from its identity fields). */
+SnapshotKey snapshotKeyOf(const ModelSnapshot &snap);
+
+/**
+ * Encode a snapshot's full payload (identity plus all frozen state).
+ * Exposed for the bit-identity tests: two snapshots are
+ * interchangeable iff their encoded payloads are byte-equal.
+ */
+std::string encodeSnapshotPayload(const ModelSnapshot &snap);
+
+/**
+ * Decode a payload written by encodeSnapshotPayload(). Fatal on any
+ * structural problem; `what` names the artifact in error messages.
+ */
+ModelSnapshot decodeSnapshotPayload(std::string_view payload,
+                                    const std::string &what);
+
+/**
+ * Write a snapshot to `path` (header + checksummed payload).
+ *
+ * Persisting is an optimisation, so IO failure warns and returns
+ * false instead of aborting the run.
+ *
+ * @param snap Snapshot to persist.
+ * @param path Destination file.
+ * @return True on success.
+ */
+bool saveSnapshot(const ModelSnapshot &snap, const std::string &path);
+
+/**
+ * Load a snapshot from `path` with strict validation: format magic,
+ * format version, payload size, payload checksum and full structural
+ * decode must all pass, and when `expect` is non-null the decoded
+ * identity must match it exactly. Any failure is fatal -- a bad file
+ * is rejected loudly, never silently half-seeded.
+ *
+ * @param path Source file.
+ * @param expect Identity the caller requires, or null to accept any
+ *               well-formed snapshot.
+ * @return The decoded snapshot (shared, immutable).
+ */
+std::shared_ptr<const ModelSnapshot>
+loadSnapshot(const std::string &path,
+             const SnapshotKey *expect = nullptr);
+
+} // namespace harness
+} // namespace seqpoint
+
+#endif // SEQPOINT_HARNESS_SNAPSHOT_IO_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Snapshot registry implementation.
+ */
+
+#include "harness/snapshot_registry.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+namespace harness {
+
+namespace fs = std::filesystem;
+
+SnapshotRegistry::SnapshotRegistry(std::string dir)
+    : dir(std::move(dir))
+{
+    if (this->dir.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(this->dir, ec);
+    fatal_if(static_cast<bool>(ec),
+             "SnapshotRegistry: cannot create store directory '%s': %s",
+             this->dir.c_str(), ec.message().c_str());
+}
+
+std::shared_ptr<SnapshotRegistry::Slot>
+SnapshotRegistry::slotFor(const SnapshotKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::shared_ptr<Slot> &slot = slots[key.cacheKey()];
+    if (!slot)
+        slot = std::make_shared<Slot>();
+    return slot;
+}
+
+std::string
+SnapshotRegistry::pathFor(const SnapshotKey &key) const
+{
+    return (fs::path(dir) / key.fileName()).string();
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
+{
+    if (slot.snap) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats_.memoryHits;
+        return slot.snap;
+    }
+    if (!dir.empty()) {
+        std::string path = pathFor(key);
+        if (fs::exists(path)) {
+            // Validated against the full key: a wrong file under this
+            // name is fatal, never silently adopted.
+            slot.snap = loadSnapshot(path, &key);
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats_.diskHits;
+            return slot.snap;
+        }
+    }
+    return nullptr;
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::acquire(
+    const SnapshotKey &key,
+    const std::function<std::shared_ptr<const ModelSnapshot>()> &build)
+{
+    std::shared_ptr<Slot> slot = slotFor(key);
+
+    // Single-flight: the first caller holds the slot through its
+    // build; same-key callers block here and find the result, while
+    // other keys proceed on their own slots.
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    if (auto snap = lookupLocked(*slot, key))
+        return snap;
+
+    std::shared_ptr<const ModelSnapshot> snap = build();
+    panic_if(!snap, "SnapshotRegistry: builder returned null for "
+             "workload '%s'", key.workload.c_str());
+    panic_if(!(snapshotKeyOf(*snap) == key),
+             "SnapshotRegistry: builder produced a snapshot for a "
+             "different identity than requested (workload '%s')",
+             key.workload.c_str());
+    if (!dir.empty())
+        saveSnapshot(*snap, pathFor(key));
+    slot->snap = std::move(snap);
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats_.builds;
+    return slot->snap;
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::acquire(const WorkloadFactory &make,
+                          const sim::GpuConfig &cfg,
+                          unsigned profile_threads,
+                          const core::SeqPointOptions &opts)
+{
+    Workload wl = make();
+    SnapshotKey key = snapshotKeyFor(wl, opts, cfg);
+    // The workload is moved into the builder's experiment; on a hit
+    // the builder never runs and the instance is simply dropped.
+    return acquire(key, [&wl, &cfg, profile_threads, &opts] {
+        Experiment exp(std::move(wl), opts);
+        exp.setProfileThreads(
+            profile_threads
+                ? profile_threads
+                : std::max(1u, std::thread::hardware_concurrency()));
+        return exp.snapshot(cfg);
+    });
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::acquire(const Workload &wl,
+                          const WorkloadFactory &make,
+                          const sim::GpuConfig &cfg,
+                          unsigned profile_threads,
+                          const core::SeqPointOptions &opts)
+{
+    // Key from the caller's instance: a hit costs no workload
+    // construction; only a cold build runs the factory.
+    SnapshotKey key = snapshotKeyFor(wl, opts, cfg);
+    return acquire(key, [&make, &cfg, profile_threads, &opts] {
+        Experiment exp(make(), opts);
+        exp.setProfileThreads(
+            profile_threads
+                ? profile_threads
+                : std::max(1u, std::thread::hardware_concurrency()));
+        return exp.snapshot(cfg);
+    });
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotRegistry::cached(const SnapshotKey &key)
+{
+    std::shared_ptr<Slot> slot = slotFor(key);
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    return lookupLocked(*slot, key);
+}
+
+SnapshotRegistryStats
+SnapshotRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats_;
+}
+
+} // namespace harness
+} // namespace seqpoint

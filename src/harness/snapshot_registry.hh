@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Persistent snapshot registry: the process-wide (and optionally
+ * on-disk) cache of ModelSnapshot cold starts, keyed by the full
+ * identity the snapshotted state is a pure function of -- workload,
+ * GpuConfig::signature(), and the run-parameter digest. One build of
+ * a (workload, configuration) pair is paid once, then every later
+ * consumer -- concurrent scheduler cells, sibling fig benches in the
+ * same process, or a different bench binary in a later CI run --
+ * seeds from it bit-identically.
+ */
+
+#ifndef SEQPOINT_HARNESS_SNAPSHOT_REGISTRY_HH
+#define SEQPOINT_HARNESS_SNAPSHOT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/seqpoint.hh"
+#include "harness/experiment.hh"
+#include "harness/snapshot_io.hh"
+
+namespace seqpoint {
+namespace harness {
+
+/** Where the registry's snapshots came from, for benches and tests. */
+struct SnapshotRegistryStats {
+    uint64_t memoryHits = 0; ///< Served from the in-process cache.
+    uint64_t diskHits = 0;   ///< Loaded (and validated) from the store.
+    uint64_t builds = 0;     ///< Built by running the cold start.
+};
+
+/**
+ * Get-or-build cache of immutable snapshots.
+ *
+ * Thread-safe with single-flight semantics: concurrent acquire()
+ * calls for the same key run the expensive build exactly once (the
+ * rest block until it lands), while different keys build in parallel.
+ * With a store directory attached, every build is persisted and every
+ * miss consults the store first, so cold starts are shared across
+ * processes and (via CI caching) across runs. A store file is adopted
+ * only after strict validation -- format magic/version, checksum, and
+ * a full identity match against the requested key; anything else is
+ * fatal (see snapshot_io.hh).
+ */
+class SnapshotRegistry
+{
+  public:
+    /**
+     * Construct a registry.
+     *
+     * @param dir On-disk store directory (created if missing); empty
+     *            for an in-process-only registry.
+     */
+    explicit SnapshotRegistry(std::string dir = "");
+
+    /** @return The store directory ("" when memory-only). */
+    const std::string &storeDir() const { return dir; }
+
+    /**
+     * Get the snapshot for `key`, building it with `build` on a miss
+     * (single-flight per key). The build result is cached in memory
+     * and, when a store is attached, persisted to disk.
+     *
+     * @param key Full snapshot identity.
+     * @param build Cold-start builder; must produce a snapshot whose
+     *              identity matches `key` (checked, fatal otherwise).
+     * @return The shared, immutable snapshot.
+     */
+    std::shared_ptr<const ModelSnapshot>
+    acquire(const SnapshotKey &key,
+            const std::function<std::shared_ptr<const ModelSnapshot>()>
+                &build);
+
+    /**
+     * Convenience acquire for (workload factory, configuration): the
+     * builder constructs a fresh Experiment for `make()` and freezes
+     * Experiment::snapshot(cfg). Builds one workload instance up
+     * front to derive the key; prefer the Workload overload when the
+     * caller already holds an equivalent instance.
+     *
+     * @param make Workload factory.
+     * @param cfg Configuration to snapshot.
+     * @param profile_threads Inner profiling-sweep width for a build
+     *                        (0 = hardware concurrency; never changes
+     *                        results).
+     * @param opts SeqPoint tunables of the consuming experiments.
+     */
+    std::shared_ptr<const ModelSnapshot>
+    acquire(const WorkloadFactory &make, const sim::GpuConfig &cfg,
+            unsigned profile_threads = 0,
+            const core::SeqPointOptions &opts =
+                Experiment::defaultOptions());
+
+    /**
+     * Acquire keyed off an already-built workload: `wl` supplies the
+     * identity (no construction cost on a hit -- the common case for
+     * warmed scheduler cells, which hold their own instance already),
+     * `make` builds a fresh equivalent only when the snapshot has to
+     * be built.
+     *
+     * @param wl Workload identity (must be equivalent to make()).
+     * @param make Factory used for a cold build.
+     * @param cfg Configuration to snapshot.
+     * @param profile_threads Inner profiling-sweep width for a build.
+     * @param opts SeqPoint tunables of the consuming experiments.
+     */
+    std::shared_ptr<const ModelSnapshot>
+    acquire(const Workload &wl, const WorkloadFactory &make,
+            const sim::GpuConfig &cfg, unsigned profile_threads = 0,
+            const core::SeqPointOptions &opts =
+                Experiment::defaultOptions());
+
+    /**
+     * Look up `key` without building: the in-process cache first,
+     * then the store. A store file found under the key's name is
+     * validated like any other load (mismatch is fatal).
+     *
+     * @param key Full snapshot identity.
+     * @return The snapshot, or null when the registry has nothing.
+     */
+    std::shared_ptr<const ModelSnapshot> cached(const SnapshotKey &key);
+
+    /** @return Hit/build accounting so far. */
+    SnapshotRegistryStats stats() const;
+
+  private:
+    /** One key's slot; its mutex serialises the single-flight build. */
+    struct Slot {
+        std::mutex mu;
+        std::shared_ptr<const ModelSnapshot> snap;
+    };
+
+    std::string dir;
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Slot>> slots;
+    SnapshotRegistryStats stats_;
+
+    std::shared_ptr<Slot> slotFor(const SnapshotKey &key);
+    std::string pathFor(const SnapshotKey &key) const;
+
+    /**
+     * Memory-then-store lookup for `key`; the caller must hold the
+     * slot's mutex. Bumps the hit statistics; returns null on a full
+     * miss (a mismatched store file is fatal, as everywhere).
+     */
+    std::shared_ptr<const ModelSnapshot>
+    lookupLocked(Slot &slot, const SnapshotKey &key);
+};
+
+} // namespace harness
+} // namespace seqpoint
+
+#endif // SEQPOINT_HARNESS_SNAPSHOT_REGISTRY_HH

@@ -9,6 +9,7 @@
 #define SEQPOINT_HARNESS_WORKLOADS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "data/batching.hh"
@@ -34,6 +35,13 @@ struct Workload {
     Workload(std::string name, nn::Model model, data::Dataset dataset,
              data::BatchPolicy policy, uint64_t seed);
 };
+
+/**
+ * Builds a fresh workload instance, e.g. for one isolated sweep cell
+ * or a snapshot-registry build. Repeated calls must produce
+ * equivalent workloads (same name, data, and run parameters).
+ */
+using WorkloadFactory = std::function<Workload()>;
 
 /**
  * GNMT on synthetic IWSLT'15 with the bucketed batching NMT stacks

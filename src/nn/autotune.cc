@@ -172,5 +172,31 @@ Autotuner::reset()
     cache.clear();
 }
 
+void
+encodeAutotuneEntry(ByteWriter &w, const AutotuneEntry &e)
+{
+    w.i64(e.m);
+    w.i64(e.n);
+    w.i64(e.k);
+    w.u32(e.variant.tileM);
+    w.u32(e.variant.tileN);
+    w.u32(e.variant.tileK);
+    w.f64(e.costSec);
+}
+
+AutotuneEntry
+decodeAutotuneEntry(ByteReader &r)
+{
+    AutotuneEntry e;
+    e.m = r.i64();
+    e.n = r.i64();
+    e.k = r.i64();
+    e.variant.tileM = r.u32();
+    e.variant.tileN = r.u32();
+    e.variant.tileK = r.u32();
+    e.costSec = r.f64();
+    return e;
+}
+
 } // namespace nn
 } // namespace seqpoint

@@ -18,6 +18,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "sim/gpu.hh"
 
 namespace seqpoint {
@@ -48,6 +49,16 @@ struct AutotuneEntry {
     GemmVariant variant;  ///< The winning variant.
     double costSec = 0.0; ///< Measured-mode probe time it cost.
 };
+
+/**
+ * Serialize one frozen tuning decision (snapshot store). The probe
+ * cost round-trips bit-exactly, so a seeded tuner's tuningCostSec()
+ * matches the donor's.
+ */
+void encodeAutotuneEntry(ByteWriter &w, const AutotuneEntry &e);
+
+/** Decode an entry written by encodeAutotuneEntry(). */
+AutotuneEntry decodeAutotuneEntry(ByteReader &r);
 
 /**
  * Shape -> variant cache with two selection policies.

@@ -5,6 +5,8 @@
 
 #include "profiler/iteration_profile.hh"
 
+#include "common/logging.hh"
+
 namespace seqpoint {
 namespace prof {
 
@@ -41,6 +43,35 @@ foldRecords(int64_t seq_len, const std::vector<sim::KernelRecord> &records)
         p.timeByKernel[rec.name] += rec.timeSec;
         p.launchesByKernel[rec.name] += rec.launches;
     }
+    return p;
+}
+
+void
+encodeIterationProfile(ByteWriter &w, const IterationProfile &p)
+{
+    w.i64(p.seqLen);
+    w.f64(p.timeSec);
+    w.u64(p.launches);
+    sim::encodeCounters(w, p.counters);
+    w.u32(sim::numKernelClasses);
+    for (double t : p.classTimeSec)
+        w.f64(t);
+}
+
+IterationProfile
+decodeIterationProfile(ByteReader &r)
+{
+    IterationProfile p;
+    p.seqLen = r.i64();
+    p.timeSec = r.f64();
+    p.launches = r.u64();
+    p.counters = sim::decodeCounters(r);
+    uint32_t classes = r.u32();
+    fatal_if(classes != sim::numKernelClasses,
+             "%s: profile has %u kernel classes, this build expects %u",
+             r.what().c_str(), classes, sim::numKernelClasses);
+    for (double &t : p.classTimeSec)
+        t = r.f64();
     return p;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "sim/counters.hh"
 #include "sim/gpu.hh"
 #include "sim/kernel.hh"
@@ -69,6 +70,17 @@ struct DetailedProfile : IterationProfile {
  */
 DetailedProfile foldRecords(int64_t seq_len,
                             const std::vector<sim::KernelRecord> &records);
+
+/**
+ * Serialize an aggregate profile (snapshot store). The per-class
+ * time array is length-prefixed and validated on decode, so a build
+ * with a different kernel-class set rejects the artifact instead of
+ * misattributing times.
+ */
+void encodeIterationProfile(ByteWriter &w, const IterationProfile &p);
+
+/** Decode a profile written by encodeIterationProfile(). */
+IterationProfile decodeIterationProfile(ByteReader &r);
 
 } // namespace prof
 } // namespace seqpoint

@@ -45,6 +45,44 @@ TrainLog::identicalTo(const TrainLog &other) const
     return true;
 }
 
+void
+encodeTrainLog(ByteWriter &w, const TrainLog &log)
+{
+    w.u64(log.iterations.size());
+    for (const IterationLog &it : log.iterations) {
+        w.i64(it.seqLen);
+        w.f64(it.timeSec);
+    }
+    w.f64(log.trainSec);
+    w.f64(log.evalSec);
+    w.f64(log.autotuneSec);
+    sim::encodeCounters(w, log.counters);
+}
+
+TrainLog
+decodeTrainLog(ByteReader &r)
+{
+    TrainLog log;
+    uint64_t n = r.u64();
+    // 16 bytes per iteration: an absurd count means a corrupt length
+    // field, so reject it before reserve() tries to honour it.
+    fatal_if(n > r.remaining() / 16,
+             "%s: iteration count %llu exceeds the payload",
+             r.what().c_str(), static_cast<unsigned long long>(n));
+    log.iterations.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        IterationLog it;
+        it.seqLen = r.i64();
+        it.timeSec = r.f64();
+        log.iterations.push_back(it);
+    }
+    log.trainSec = r.f64();
+    log.evalSec = r.f64();
+    log.autotuneSec = r.f64();
+    log.counters = sim::decodeCounters(r);
+    return log;
+}
+
 namespace {
 
 /** Unique batch SLs in ascending order. */

@@ -107,6 +107,16 @@ struct TrainLog {
 };
 
 /**
+ * Serialize an epoch log (snapshot store). Iteration order, times and
+ * counters round-trip bit-exactly: decode(encode(log)).identicalTo(log)
+ * always holds, and autotuneSec is preserved too.
+ */
+void encodeTrainLog(ByteWriter &w, const TrainLog &log);
+
+/** Decode a log written by encodeTrainLog(). */
+TrainLog decodeTrainLog(ByteReader &r);
+
+/**
  * The training-phase batch schedule an epoch with these parameters
  * will execute, without running anything: a pure function of
  * (dataset, batch size, policy, seed). runTrainingEpoch() builds its

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytestream.hh"
+
 namespace seqpoint {
 namespace sim {
 
@@ -58,6 +60,15 @@ struct PerfCounters {
     /** @return Human-readable one-line summary. */
     std::string summary() const;
 };
+
+/**
+ * Serialize a counter bundle (snapshot store). Every field is written
+ * as its IEEE-754 bit pattern, so decode is bit-identical.
+ */
+void encodeCounters(ByteWriter &w, const PerfCounters &c);
+
+/** Decode a counter bundle written by encodeCounters(). */
+PerfCounters decodeCounters(ByteReader &r);
 
 } // namespace sim
 } // namespace seqpoint

@@ -104,5 +104,53 @@ GpuConfig::table2()
     return {config1(), config2(), config3(), config4(), config5()};
 }
 
+void
+encodeGpuConfig(ByteWriter &w, const GpuConfig &cfg)
+{
+    w.str(cfg.name);
+    w.f64(cfg.gclkHz);
+    w.u32(cfg.numCus);
+    w.u32(cfg.simdsPerCu);
+    w.u32(cfg.lanesPerSimd);
+    w.u32(cfg.maxWavesPerCu);
+    w.u32(cfg.waveSize);
+    w.u64(cfg.l1SizeBytes);
+    w.u32(cfg.l1Assoc);
+    w.u64(cfg.l2SizeBytes);
+    w.u32(cfg.l2Assoc);
+    w.u32(cfg.lineBytes);
+    w.f64(cfg.l1BytesPerCycle);
+    w.f64(cfg.l2BytesPerCycle);
+    w.f64(cfg.dramBandwidth);
+    w.f64(cfg.dramEfficiency);
+    w.f64(cfg.launchOverheadSec);
+    w.f64(cfg.writeDrainFraction);
+}
+
+GpuConfig
+decodeGpuConfig(ByteReader &r)
+{
+    GpuConfig cfg;
+    cfg.name = r.str();
+    cfg.gclkHz = r.f64();
+    cfg.numCus = r.u32();
+    cfg.simdsPerCu = r.u32();
+    cfg.lanesPerSimd = r.u32();
+    cfg.maxWavesPerCu = r.u32();
+    cfg.waveSize = r.u32();
+    cfg.l1SizeBytes = r.u64();
+    cfg.l1Assoc = r.u32();
+    cfg.l2SizeBytes = r.u64();
+    cfg.l2Assoc = r.u32();
+    cfg.lineBytes = r.u32();
+    cfg.l1BytesPerCycle = r.f64();
+    cfg.l2BytesPerCycle = r.f64();
+    cfg.dramBandwidth = r.f64();
+    cfg.dramEfficiency = r.f64();
+    cfg.launchOverheadSec = r.f64();
+    cfg.writeDrainFraction = r.f64();
+    return cfg;
+}
+
 } // namespace sim
 } // namespace seqpoint

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "common/units.hh"
 
 namespace seqpoint {
@@ -130,6 +131,16 @@ struct GpuConfig {
     /** All five Table II configurations, in order. */
     static std::vector<GpuConfig> table2();
 };
+
+/**
+ * Serialize every configuration parameter (snapshot store). The
+ * decoded configuration compares equal under operator== -- and
+ * therefore under signature() -- to the encoded one.
+ */
+void encodeGpuConfig(ByteWriter &w, const GpuConfig &cfg);
+
+/** Decode a configuration written by encodeGpuConfig(). */
+GpuConfig decodeGpuConfig(ByteReader &r);
 
 } // namespace sim
 } // namespace seqpoint

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <functional>
 
+#include "common/logging.hh"
+
 namespace seqpoint {
 namespace sim {
 
@@ -134,6 +136,58 @@ KernelTimingCache::size() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return entries.size();
+}
+
+void
+encodeTimingCacheEntry(ByteWriter &w, const TimingCacheEntry &e)
+{
+    w.u32(static_cast<uint32_t>(e.sig.klass));
+    w.f64(e.sig.flops);
+    w.f64(e.sig.bytesIn);
+    w.f64(e.sig.bytesOut);
+    w.f64(e.sig.workingSetL1);
+    w.f64(e.sig.workingSetL2);
+    w.f64(e.sig.workItems);
+    w.i64(e.sig.gemmM);
+    w.i64(e.sig.gemmN);
+    w.i64(e.sig.gemmK);
+    w.f64(e.sig.effScale);
+    w.f64(e.sig.reuseL1);
+    w.f64(e.sig.reuseL2);
+    w.f64(e.timing.timeSec);
+    w.f64(e.timing.computeSec);
+    w.f64(e.timing.memorySec);
+    w.b(e.timing.memoryBound);
+    encodeCounters(w, e.timing.counters);
+}
+
+TimingCacheEntry
+decodeTimingCacheEntry(ByteReader &r)
+{
+    TimingCacheEntry e;
+    uint32_t klass = r.u32();
+    fatal_if(klass >= numKernelClasses,
+             "%s: invalid kernel class %u in timing-cache entry",
+             r.what().c_str(), klass);
+    e.sig.klass = static_cast<KernelClass>(klass);
+    e.sig.flops = r.f64();
+    e.sig.bytesIn = r.f64();
+    e.sig.bytesOut = r.f64();
+    e.sig.workingSetL1 = r.f64();
+    e.sig.workingSetL2 = r.f64();
+    e.sig.workItems = r.f64();
+    e.sig.gemmM = r.i64();
+    e.sig.gemmN = r.i64();
+    e.sig.gemmK = r.i64();
+    e.sig.effScale = r.f64();
+    e.sig.reuseL1 = r.f64();
+    e.sig.reuseL2 = r.f64();
+    e.timing.timeSec = r.f64();
+    e.timing.computeSec = r.f64();
+    e.timing.memorySec = r.f64();
+    e.timing.memoryBound = r.b();
+    e.timing.counters = decodeCounters(r);
+    return e;
 }
 
 void

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bytestream.hh"
 #include "sim/kernel.hh"
 #include "sim/timing_model.hh"
 
@@ -85,6 +86,19 @@ struct TimingCacheEntry {
     KernelSignature sig; ///< Canonical signature key.
     KernelTiming timing; ///< Memoized per-launch timing.
 };
+
+/**
+ * Serialize one frozen cache entry (snapshot store). All doubles are
+ * written as IEEE-754 bit patterns, so decode is bit-identical and
+ * a seeded cache serves exactly the timings the donor computed.
+ */
+void encodeTimingCacheEntry(ByteWriter &w, const TimingCacheEntry &e);
+
+/**
+ * Decode an entry written by encodeTimingCacheEntry(). An
+ * out-of-range kernel class is a fatal error (corrupted artifact).
+ */
+TimingCacheEntry decodeTimingCacheEntry(ByteReader &r);
 
 /**
  * Signature -> KernelTiming memo for one device configuration.

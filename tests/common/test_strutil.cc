@@ -65,5 +65,18 @@ TEST(CompactDouble, TrimsTrailingZeros)
     EXPECT_EQ(compactDouble(0.1239, 3), "0.124");
 }
 
+TEST(CompactDouble, NormalisesNegativeZero)
+{
+    // Tiny negatives used to zero-trim to "-0"; the sign carries no
+    // information at the requested precision.
+    EXPECT_EQ(compactDouble(-0.0004, 2), "0");
+    EXPECT_EQ(compactDouble(-0.0004, 3), "0");
+    EXPECT_EQ(compactDouble(-0.4, 0), "0");
+    EXPECT_EQ(compactDouble(-0.0), "0");
+    // Representable negatives keep their sign.
+    EXPECT_EQ(compactDouble(-0.0004, 4), "-0.0004");
+    EXPECT_EQ(compactDouble(-1.5), "-1.5");
+}
+
 } // anonymous namespace
 } // namespace seqpoint

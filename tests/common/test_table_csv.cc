@@ -79,6 +79,19 @@ TEST(Csv, QuotesSpecialCharacters)
               std::string::npos);
 }
 
+TEST(Csv, QuotesCarriageReturn)
+{
+    // A bare \r in a cell splits the row for CRLF-aware readers just
+    // like \n would, so it must trigger quoting too.
+    CsvWriter csv({"a", "b"});
+    csv.addRow(std::vector<std::string>{"x\ry", "z"});
+    EXPECT_EQ(csv.str(), "a,b\n\"x\ry\",z\n");
+
+    CsvWriter lf({"a"});
+    lf.addRow(std::vector<std::string>{"x\r\ny"});
+    EXPECT_EQ(lf.str(), "a\n\"x\r\ny\"\n");
+}
+
 TEST(Csv, WritesFile)
 {
     CsvWriter csv({"x"});

@@ -42,11 +42,13 @@ TEST(Binning, SimpleEqualWidth)
 
 TEST(Binning, EmptyRangesAreDropped)
 {
-    // SLs cluster at both ends; middle buckets are empty.
+    // SLs cluster at both ends; middle buckets are empty. Even with
+    // k <= uniqueCount(), equal-width buckets that receive no unique
+    // SL are dropped, so fewer than k bins come back.
     SlStats s = SlStats::fromEntries({
         {1, 1, 1.0}, {2, 1, 1.0}, {99, 1, 9.0}, {100, 1, 10.0}});
-    auto bins = binEntries(s, 10, BinningMode::EqualWidth);
-    EXPECT_LT(bins.size(), 10u);
+    auto bins = binEntries(s, 4, BinningMode::EqualWidth);
+    EXPECT_LT(bins.size(), 4u);
     uint64_t covered = 0;
     for (const auto &b : bins)
         covered += b.count();
@@ -124,7 +126,7 @@ TEST_P(BinningInvariants, PartitionIsExactAndOrdered)
 INSTANTIATE_TEST_SUITE_P(
     KSweep, BinningInvariants,
     testing::Combine(testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 60u,
-                                     119u, 120u, 500u),
+                                     119u, 120u),
                      testing::Values(BinningMode::EqualWidth,
                                      BinningMode::EqualFrequency)));
 
@@ -132,6 +134,17 @@ TEST(BinningDeath, RejectsZeroK)
 {
     SlStats s = syntheticStats(1, 10);
     EXPECT_DEATH(binEntries(s, 0, BinningMode::EqualWidth), "zero");
+}
+
+TEST(BinningDeath, RejectsMoreBinsThanUniqueSls)
+{
+    // k > uniqueCount() cannot be honoured; the historical behaviour
+    // quietly returned at most uniqueCount() bins, which fixed-k
+    // callers misread as a k-bucket split. It must fail loudly.
+    SlStats s = syntheticStats(1, 10);
+    EXPECT_DEATH(binEntries(s, 11, BinningMode::EqualWidth), "unique");
+    EXPECT_DEATH(binEntries(s, 500, BinningMode::EqualFrequency),
+                 "unique");
 }
 
 } // anonymous namespace

@@ -200,16 +200,25 @@ INSTANTIATE_TEST_SUITE_P(KSweep, SelectWithBinsSweep,
 
 TEST(SeqPoint, ExactWhenBinsEqualUniqueCount)
 {
-    SlStats s = epochStats(50, 40);
-    SeqPointSet set = selectWithBins(s, 40);
-    // With singleton bins the projection reproduces the epoch total
-    // exactly (equal-width bins may merge dense entries; allow that
-    // by checking the all-singleton case via a generous k).
+    // Contiguous SLs: with k == uniqueCount() every equal-width
+    // bucket holds exactly one unique SL, so the projection
+    // reproduces the epoch total exactly. (k beyond the unique count
+    // is a contract violation since the binEntries fatal_if -- see
+    // BinningDeath.RejectsMoreBinsThanUniqueSls.)
+    Rng rng(50);
+    std::vector<SlEntry> entries;
+    for (int64_t sl = 20; sl < 60; ++sl) {
+        entries.push_back(SlEntry{
+            sl, static_cast<uint64_t>(rng.uniformInt(1, 12)),
+            0.05 + 0.004 * static_cast<double>(sl)});
+    }
+    SlStats s = SlStats::fromEntries(std::move(entries));
     SeqPointSet fine = selectWithBins(
-        s, static_cast<unsigned>(s.maxSl() - s.minSl() + 1));
+        s, static_cast<unsigned>(s.uniqueCount()));
+    EXPECT_EQ(fine.points.size(), s.uniqueCount());
     EXPECT_NEAR(fine.projectTotal(), s.actualTotal(),
                 1e-9 * s.actualTotal());
-    EXPECT_LE(set.selfError, 0.05);
+    EXPECT_LE(selectWithBins(s, 10).selfError, 0.05);
 }
 
 TEST(SeqPointDeath, RejectsBadOptions)

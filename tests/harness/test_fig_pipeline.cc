@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "harness/figures.hh"
 
 namespace seqpoint {
@@ -136,6 +138,76 @@ TEST(ModelSnapshot, SeededSchedulerCellsMatchColdCells)
         EXPECT_EQ(cold[i].evalSec, seeded[i].evalSec);
         EXPECT_EQ(cold[i].throughput, seeded[i].throughput);
         EXPECT_TRUE(cold[i].counters == seeded[i].counters);
+    }
+}
+
+TEST(FigurePipeline, RegistryWarmedSweepsByteIdenticalToSerial)
+{
+    std::string dir =
+        (std::filesystem::path(testing::TempDir()) / "fig_store")
+            .string();
+    std::filesystem::remove_all(dir); // stale stores from earlier runs
+
+    FigureSweep serial = runFigureSweepSerial(ds2(), 1);
+
+    // First registry pass builds (and persists) every per-config
+    // snapshot; a second pass through a fresh registry on the same
+    // store replays entirely from disk. Both must match the serial
+    // pipeline bit for bit.
+    SnapshotRegistry builder(dir);
+    FigureSweep built = runFigureSweepScheduled(ds2(), 2, &builder);
+    EXPECT_TRUE(serial.identicalTo(built));
+    EXPECT_GE(builder.stats().builds, 1u);
+
+    SnapshotRegistry reader(dir);
+    FigureSweep warmed = runFigureSweepScheduled(ds2(), 2, &reader);
+    EXPECT_TRUE(serial.identicalTo(warmed));
+    EXPECT_EQ(reader.stats().builds, 0u);
+    EXPECT_GE(reader.stats().diskHits, 1u);
+
+    // Sensitivity cells seed (lookup-only) from the per-config
+    // snapshots the figure sweep left behind, bit-identically.
+    SensitivitySweep sens_serial =
+        runSensitivitySweepSerial(ds2(), 60, 220, 40, 1);
+    SnapshotRegistry sens_reader(dir);
+    SensitivitySweep sens_warmed = runSensitivitySweepScheduled(
+        ds2(), 60, 220, 40, 2, &sens_reader);
+    EXPECT_TRUE(sens_serial.identicalTo(sens_warmed));
+    EXPECT_EQ(sens_reader.stats().builds, 0u);
+    EXPECT_GE(sens_reader.stats().diskHits, 5u);
+}
+
+TEST(FigurePipeline, RegistryEpochSweepMatchesPlainSweep)
+{
+    std::vector<WorkloadFactory> workloads = {ds2()};
+    std::vector<sim::GpuConfig> configs = {
+        sim::GpuConfig::config1(), sim::GpuConfig::config2()};
+
+    ExperimentScheduler sched(2);
+    auto plain = sched.epochSweep(workloads, configs);
+
+    // The registry-aware sweep acquires one snapshot per cell; a
+    // second sweep over the same registry replays from memory. All
+    // three runs must agree exactly.
+    SnapshotRegistry reg;
+    auto warmed_build = sched.epochSweep(workloads, configs, reg);
+    EXPECT_EQ(reg.stats().builds, configs.size());
+    auto warmed_replay = sched.epochSweep(workloads, configs, reg);
+    EXPECT_EQ(reg.stats().builds, configs.size());
+    EXPECT_GE(reg.stats().memoryHits, configs.size());
+
+    ASSERT_EQ(plain.size(), warmed_build.size());
+    ASSERT_EQ(plain.size(), warmed_replay.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        for (const auto *other : {&warmed_build[i], &warmed_replay[i]}) {
+            EXPECT_EQ(plain[i].workload, other->workload);
+            EXPECT_EQ(plain[i].config, other->config);
+            EXPECT_EQ(plain[i].iterations, other->iterations);
+            EXPECT_EQ(plain[i].trainSec, other->trainSec);
+            EXPECT_EQ(plain[i].evalSec, other->evalSec);
+            EXPECT_EQ(plain[i].throughput, other->throughput);
+            EXPECT_TRUE(plain[i].counters == other->counters);
+        }
     }
 }
 

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the persistent snapshot subsystem: serialization
+ * round-trip fidelity (save -> load -> seedFrom bit-identical to the
+ * live snapshot path), strict rejection of mismatched or corrupted
+ * files, and the registry's memory/disk/single-flight behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "harness/snapshot_io.hh"
+#include "harness/snapshot_registry.hh"
+
+namespace seqpoint {
+namespace harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (fs::path(testing::TempDir()) / name).string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << bytes;
+}
+
+/** One fully warmed DS2 snapshot, shared by the tests below. */
+std::shared_ptr<const ModelSnapshot>
+ds2Snapshot()
+{
+    static std::shared_ptr<const ModelSnapshot> snap = [] {
+        Experiment donor(makeDs2Workload());
+        donor.setProfileThreads(1);
+        return donor.snapshot(sim::GpuConfig::config1());
+    }();
+    return snap;
+}
+
+TEST(SnapshotIo, PayloadRoundTripIsByteExact)
+{
+    auto snap = ds2Snapshot();
+    std::string payload = encodeSnapshotPayload(*snap);
+    EXPECT_FALSE(payload.empty());
+
+    ModelSnapshot decoded = decodeSnapshotPayload(payload, "test");
+    // Bit-exact: re-encoding the decoded snapshot reproduces the
+    // payload byte for byte, and the identity key survives.
+    EXPECT_EQ(encodeSnapshotPayload(decoded), payload);
+    EXPECT_TRUE(snapshotKeyOf(decoded) == snapshotKeyOf(*snap));
+    EXPECT_TRUE(decoded.log.identicalTo(snap->log));
+    EXPECT_EQ(decoded.selections.size(), snap->selections.size());
+}
+
+TEST(SnapshotIo, SaveLoadSeedsBitIdenticallyDs2)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+    auto cfg2 = sim::GpuConfig::config2();
+    auto snap = ds2Snapshot();
+
+    std::string path = tmpPath("ds2_roundtrip.bin");
+    ASSERT_TRUE(saveSnapshot(*snap, path));
+
+    SnapshotKey key = snapshotKeyOf(*snap);
+    auto loaded = loadSnapshot(path, &key);
+    ASSERT_TRUE(loaded != nullptr);
+
+    // Seeding from the file must reproduce both the live-snapshot
+    // path and a cold experiment, bit for bit -- on the snapshot's
+    // config (replayed) and on another config (still computed cold).
+    Experiment from_file(makeDs2Workload());
+    from_file.setProfileThreads(1);
+    from_file.seedFrom(loaded);
+    Experiment live(makeDs2Workload());
+    live.setProfileThreads(1);
+    live.seedFrom(snap);
+    Experiment cold(makeDs2Workload());
+    cold.setProfileThreads(1);
+
+    EXPECT_TRUE(
+        from_file.epochLog(cfg1).identicalTo(live.epochLog(cfg1)));
+    EXPECT_TRUE(
+        from_file.epochLog(cfg1).identicalTo(cold.epochLog(cfg1)));
+    EXPECT_TRUE(
+        from_file.epochLog(cfg2).identicalTo(cold.epochLog(cfg2)));
+    EXPECT_EQ(from_file.iterTime(cfg1, 100), cold.iterTime(cfg1, 100));
+    EXPECT_EQ(from_file.actualThroughput(cfg1),
+              cold.actualThroughput(cfg1));
+    EXPECT_TRUE(
+        from_file.buildSelection(core::SelectorKind::SeqPoint, cfg1) ==
+        cold.buildSelection(core::SelectorKind::SeqPoint, cfg1));
+}
+
+TEST(SnapshotIo, SaveLoadSeedsBitIdenticallyGnmt)
+{
+    auto cfg1 = sim::GpuConfig::config1();
+    Experiment donor(makeGnmtWorkload());
+    donor.setProfileThreads(1);
+    auto snap = donor.snapshot(cfg1);
+
+    std::string path = tmpPath("gnmt_roundtrip.bin");
+    ASSERT_TRUE(saveSnapshot(*snap, path));
+    SnapshotKey key = snapshotKeyOf(*snap);
+    auto loaded = loadSnapshot(path, &key);
+
+    EXPECT_EQ(encodeSnapshotPayload(*loaded),
+              encodeSnapshotPayload(*snap));
+
+    Experiment from_file(makeGnmtWorkload());
+    from_file.setProfileThreads(1);
+    from_file.seedFrom(loaded);
+    EXPECT_TRUE(from_file.epochLog(cfg1).identicalTo(snap->log));
+    EXPECT_TRUE(
+        from_file.buildSelection(core::SelectorKind::SeqPoint, cfg1) ==
+        snap->selections.at(core::SelectorKind::SeqPoint));
+}
+
+TEST(SnapshotIoDeathTest, RejectsBadFilesLoudly)
+{
+    auto snap = ds2Snapshot();
+    std::string path = tmpPath("ds2_victim.bin");
+    ASSERT_TRUE(saveSnapshot(*snap, path));
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 200u);
+    SnapshotKey key = snapshotKeyOf(*snap);
+
+    // Wrong magic: not a snapshot file at all.
+    std::string bad_magic = bytes;
+    bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5a);
+    writeFile(tmpPath("bad_magic.bin"), bad_magic);
+    EXPECT_DEATH((void)loadSnapshot(tmpPath("bad_magic.bin"), &key),
+                 "not a snapshot");
+
+    // Wrong format version (bytes 4..7, little-endian u32).
+    std::string bad_version = bytes;
+    bad_version[4] = static_cast<char>(bad_version[4] + 1);
+    writeFile(tmpPath("bad_version.bin"), bad_version);
+    EXPECT_DEATH((void)loadSnapshot(tmpPath("bad_version.bin"), &key),
+                 "format version");
+
+    // Truncated payload: header promises more bytes than exist.
+    writeFile(tmpPath("truncated.bin"),
+              bytes.substr(0, bytes.size() - 64));
+    EXPECT_DEATH((void)loadSnapshot(tmpPath("truncated.bin"), &key),
+                 "truncated");
+
+    // Flipped payload byte: checksum mismatch.
+    std::string corrupt = bytes;
+    corrupt[bytes.size() / 2] =
+        static_cast<char>(corrupt[bytes.size() / 2] ^ 0x01);
+    writeFile(tmpPath("corrupt.bin"), corrupt);
+    EXPECT_DEATH((void)loadSnapshot(tmpPath("corrupt.bin"), &key),
+                 "checksum");
+
+    // Valid file, wrong expected config: the caller wanted config#2.
+    Workload ds2 = makeDs2Workload();
+    SnapshotKey cfg2_key = snapshotKeyFor(
+        ds2, Experiment::defaultOptions(), sim::GpuConfig::config2());
+    EXPECT_DEATH((void)loadSnapshot(path, &cfg2_key),
+                 "config signature mismatch");
+
+    // Valid file, wrong expected run parameters (other seed).
+    Workload variant = makeDs2Workload(31);
+    SnapshotKey variant_key = snapshotKeyFor(
+        variant, Experiment::defaultOptions(),
+        sim::GpuConfig::config1());
+    EXPECT_DEATH((void)loadSnapshot(path, &variant_key),
+                 "run-parameter mismatch");
+
+    // Valid file, wrong expected workload.
+    SnapshotKey gnmt_key = key;
+    gnmt_key.workload = "GNMT";
+    EXPECT_DEATH((void)loadSnapshot(path, &gnmt_key), "workload");
+}
+
+TEST(SnapshotRegistry, MemoryThenDiskHits)
+{
+    std::string dir = tmpPath("store_hits");
+    fs::remove_all(dir); // stale stores from earlier runs
+    auto make = [] { return makeDs2Workload(); };
+    auto cfg1 = sim::GpuConfig::config1();
+
+    SnapshotRegistry reg(dir);
+    auto first = reg.acquire(make, cfg1, 1);
+    ASSERT_TRUE(first != nullptr);
+    EXPECT_EQ(reg.stats().builds, 1u);
+
+    // Second acquire: served from memory, same object.
+    auto second = reg.acquire(make, cfg1, 1);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(reg.stats().builds, 1u);
+    EXPECT_EQ(reg.stats().memoryHits, 1u);
+
+    // The build was persisted under the key's file name.
+    Workload wl = make();
+    SnapshotKey key =
+        snapshotKeyFor(wl, Experiment::defaultOptions(), cfg1);
+    EXPECT_TRUE(fs::exists(fs::path(dir) / key.fileName()));
+
+    // A fresh registry on the same store loads instead of building,
+    // and the loaded snapshot is byte-identical to the built one.
+    SnapshotRegistry reg2(dir);
+    auto from_disk = reg2.acquire(make, cfg1, 1);
+    EXPECT_EQ(reg2.stats().builds, 0u);
+    EXPECT_EQ(reg2.stats().diskHits, 1u);
+    EXPECT_EQ(encodeSnapshotPayload(*from_disk),
+              encodeSnapshotPayload(*first));
+
+    // cached() is lookup-only: a key nobody built stays null.
+    SnapshotKey cfg2_key = snapshotKeyFor(
+        wl, Experiment::defaultOptions(), sim::GpuConfig::config2());
+    EXPECT_EQ(reg2.cached(cfg2_key), nullptr);
+    EXPECT_TRUE(reg2.cached(key) != nullptr);
+}
+
+TEST(SnapshotRegistry, SingleFlightBuildsOnce)
+{
+    auto snap = ds2Snapshot();
+    SnapshotKey key = snapshotKeyOf(*snap);
+
+    SnapshotRegistry reg; // memory-only
+    std::atomic<int> builds{0};
+    auto build = [&]() {
+        ++builds;
+        // Widen the race window so racing acquirers really overlap.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return snap;
+    };
+
+    std::vector<std::shared_ptr<const ModelSnapshot>> got(4);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < got.size(); ++i) {
+        threads.emplace_back(
+            [&, i] { got[i] = reg.acquire(key, build); });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    for (const auto &g : got)
+        EXPECT_EQ(g.get(), snap.get());
+    EXPECT_EQ(reg.stats().builds, 1u);
+    EXPECT_EQ(reg.stats().memoryHits, 3u);
+}
+
+TEST(SnapshotRegistryDeathTest, RejectsForeignFileUnderKey)
+{
+    // Plant a DS2 snapshot at the file name GNMT's key hashes to --
+    // a corrupted shared store. The registry must reject it loudly,
+    // never hand GNMT cells DS2 state.
+    std::string dir = tmpPath("store_foreign");
+    fs::remove_all(dir); // stale stores from earlier runs
+    fs::create_directories(dir);
+
+    Workload gnmt = makeGnmtWorkload();
+    SnapshotKey gnmt_key = snapshotKeyFor(
+        gnmt, Experiment::defaultOptions(), sim::GpuConfig::config1());
+    ASSERT_TRUE(saveSnapshot(
+        *ds2Snapshot(),
+        (fs::path(dir) / gnmt_key.fileName()).string()));
+
+    SnapshotRegistry reg(dir);
+    EXPECT_DEATH(
+        (void)reg.acquire([] { return makeGnmtWorkload(); },
+                          sim::GpuConfig::config1(), 1),
+        "workload");
+    EXPECT_DEATH((void)reg.cached(gnmt_key), "workload");
+}
+
+} // anonymous namespace
+} // namespace harness
+} // namespace seqpoint
