@@ -38,6 +38,18 @@
  * byte-identical to cold ones, replay without a single build, and
  * clear a 1.5x speedup floor (~2x measured on the CI container).
  *
+ * Part 5 measures the segment-descriptor streams and the
+ * piecewise-analytic cache replay engine on the hit-rate
+ * measurements the cache-model validation re-runs per geometry: the
+ * blocked-GEMM measurement through the legacy per-access paths
+ * (callback generation into the scalar access() oracle; materialized
+ * trace through the batched accessBlock) versus segment descriptors
+ * through the piecewise engine, and the same for a pure streaming
+ * sweep (where the engine is closed-form, O(segments)). Statistics
+ * must be bit-identical across all engines and the piecewise engine
+ * must beat the scalar path by >= 5x on the blocked-GEMM
+ * measurement.
+ *
  * Results are written to a JSON report (default BENCH_epoch.json,
  * argv[1] overrides); the process fails if any gate is missed.
  */
@@ -53,7 +65,10 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "common/units.hh"
 #include "harness/scheduler.hh"
+#include "sim/access_gen.hh"
+#include "sim/cache_model.hh"
 #include "support.hh"
 
 using namespace seqpoint;
@@ -143,6 +158,33 @@ uniqueSls(const SweepResult &r)
     return sls.size();
 }
 
+/** One timed cache-replay engine: per-measurement seconds + stats. */
+struct EngineResult {
+    double sec = 0.0;
+    sim::CacheStats stats;
+};
+
+/**
+ * Time one hit-rate measurement to ~0.3s of repetitions: run once
+ * to calibrate, then average over enough repetitions that the
+ * per-measurement time is stable on a shared runner.
+ */
+EngineResult
+timeEngine(const std::function<sim::CacheStats()> &measure)
+{
+    EngineResult r;
+    double t0 = now();
+    r.stats = measure();
+    double once = std::max(now() - t0, 1e-9);
+    unsigned reps = once >= 0.3
+        ? 1 : static_cast<unsigned>(0.3 / once) + 1;
+    t0 = now();
+    for (unsigned i = 0; i < reps; ++i)
+        r.stats = measure();
+    r.sec = (now() - t0) / reps;
+    return r;
+}
+
 bool
 cellsIdentical(const std::vector<harness::EpochCellResult> &a,
                const std::vector<harness::EpochCellResult> &b)
@@ -228,15 +270,17 @@ main(int argc, char **argv)
         sim::GpuConfig::config3(), sim::GpuConfig::config4(),
     };
 
+    std::vector<harness::CellTiming> serial_times, parallel_times;
     double t0 = now();
     auto serial_cells =
-        harness::ExperimentScheduler(1).epochSweep(workloads, configs);
+        harness::ExperimentScheduler(1).epochSweep(workloads, configs,
+                                                   {}, &serial_times);
     double serial_sec = now() - t0;
 
     t0 = now();
     auto parallel_cells =
-        harness::ExperimentScheduler(threads).epochSweep(workloads,
-                                                         configs);
+        harness::ExperimentScheduler(threads).epochSweep(
+            workloads, configs, {}, &parallel_times);
     double parallel_sec = now() - t0;
 
     bool sweep_identical = cellsIdentical(serial_cells, parallel_cells);
@@ -252,6 +296,27 @@ main(int argc, char **argv)
         workloads.size(), configs.size())).c_str());
     std::printf("parallel sweep byte-identical to serial: %s\n\n",
                 sweep_identical ? "yes" : "NO -- BUG");
+
+    // Per-cell wall-time breakdown: where the scheduler's time goes
+    // (serial vs parallel, and setup vs eval inside a parallel
+    // cell). Exported to the JSON so regressions in the parallel
+    // speedup can be localised from the CI artifact alone.
+    Table cell_table({"cell", "serial", "parallel", "par setup",
+                      "par eval", "slowdown"});
+    for (size_t i = 0; i < parallel_cells.size(); ++i) {
+        cell_table.addRow({
+            csprintf("%s/%s", parallel_cells[i].workload.c_str(),
+                     parallel_cells[i].config.c_str()),
+            csprintf("%.3fs", serial_times[i].totalSec),
+            csprintf("%.3fs", parallel_times[i].totalSec),
+            csprintf("%.3fs", parallel_times[i].setupSec),
+            csprintf("%.3fs", parallel_times[i].evalSec()),
+            csprintf("%.2fx", parallel_times[i].totalSec /
+                                  std::max(serial_times[i].totalSec,
+                                           1e-9))});
+    }
+    std::printf("%s\n", cell_table.render(
+        "Scheduler cells: per-cell wall-time breakdown").c_str());
 
     // ------------------------------------------------------------------
     // Part 3: scheduler-backed figure pipeline (DS2 figs 11 + 15).
@@ -415,6 +480,101 @@ main(int argc, char **argv)
     std::filesystem::remove_all(store_dir, store_ec);
 
     // ------------------------------------------------------------------
+    // Part 5: segment-descriptor streams + piecewise replay engine.
+    // ------------------------------------------------------------------
+    // The blocked-GEMM hit-rate measurement the cache-model
+    // validation re-runs per geometry x generator cell, on an
+    // L2-like geometry.
+    const uint64_t gm = 512, gn = 512, gk = 256;
+    const unsigned gtile = 64;
+    sim::CacheSim gemm_cache(kib(256), 8, 64);
+    sim::SegmentList gemm_segs =
+        sim::genBlockedGemmSegments(gm, gn, gk, gtile);
+    sim::AccessTrace gemm_trace = gemm_segs.materialize();
+
+    // Legacy path 1: callback generation into the scalar oracle --
+    // what measureHitRate() did before this engine.
+    EngineResult gemm_scalar = timeEngine([&] {
+        gemm_cache.reset();
+        sim::genBlockedGemm(gm, gn, gk, gtile,
+                            [&](uint64_t a, bool w) {
+                                gemm_cache.access(a, w);
+                            });
+        return gemm_cache.stats();
+    });
+    // Legacy path 2: the materialized trace through the batched
+    // accessBlock scan (the PR 2 fast path; generation pre-paid).
+    EngineResult gemm_block = timeEngine([&] {
+        gemm_cache.reset();
+        gemm_cache.accessBlock(gemm_trace, 0, gemm_trace.size());
+        return gemm_cache.stats();
+    });
+    // Segment engine: O(segments) generation + piecewise replay
+    // (generation included -- descriptors are cheap enough to emit
+    // per measurement).
+    EngineResult gemm_segment = timeEngine([&] {
+        return sim::replaySegments(
+            gemm_cache, sim::genBlockedGemmSegments(gm, gn, gk, gtile));
+    });
+
+    // Pure streaming sweep: the closed-form path accounts the whole
+    // stream without touching an address.
+    const uint64_t stream_bytes = mib(32);
+    const unsigned stream_stride = 16;
+    sim::CacheSim stream_cache(kib(256), 8, 64);
+    EngineResult stream_scalar = timeEngine([&] {
+        stream_cache.reset();
+        sim::genStreaming(stream_bytes, stream_stride,
+                          [&](uint64_t a, bool w) {
+                              stream_cache.access(a, w);
+                          });
+        return stream_cache.stats();
+    });
+    EngineResult stream_segment = timeEngine([&] {
+        return sim::replaySegments(
+            stream_cache,
+            sim::genStreamingSegments(stream_bytes, stream_stride));
+    });
+
+    bool seg_identical = gemm_segment.stats == gemm_scalar.stats &&
+        gemm_block.stats == gemm_scalar.stats &&
+        stream_segment.stats == stream_scalar.stats;
+    double sp_seg_scalar = gemm_scalar.sec / gemm_segment.sec;
+    double sp_seg_block = gemm_block.sec / gemm_segment.sec;
+    double sp_stream = stream_scalar.sec / stream_segment.sec;
+    double seg_floor = 5.0;
+
+    Table seg_table({"engine", "per measurement", "speedup"});
+    seg_table.addRow({"GEMM: callback + scalar oracle",
+                      csprintf("%.3fms", 1e3 * gemm_scalar.sec),
+                      "1.0x"});
+    seg_table.addRow({"GEMM: trace + batched accessBlock",
+                      csprintf("%.3fms", 1e3 * gemm_block.sec),
+                      csprintf("%.1fx",
+                               gemm_scalar.sec / gemm_block.sec)});
+    seg_table.addRow({"GEMM: segments + piecewise engine",
+                      csprintf("%.3fms", 1e3 * gemm_segment.sec),
+                      csprintf("%.1fx", sp_seg_scalar)});
+    seg_table.addRow({"stream: callback + scalar oracle",
+                      csprintf("%.3fms", 1e3 * stream_scalar.sec),
+                      "1.0x"});
+    seg_table.addRow({"stream: segments (closed form)",
+                      csprintf("%.3fms", 1e3 * stream_segment.sec),
+                      csprintf("%.1fx", sp_stream)});
+    std::printf("%s\n", seg_table.render(csprintf(
+        "Segment replay: blocked GEMM %llux%llux%llu tile %u "
+        "(%llu accesses in %zu segments), stream %llu MiB stride %u",
+        static_cast<unsigned long long>(gm),
+        static_cast<unsigned long long>(gn),
+        static_cast<unsigned long long>(gk), gtile,
+        static_cast<unsigned long long>(gemm_segs.accesses()),
+        gemm_segs.size(),
+        static_cast<unsigned long long>(stream_bytes >> 20),
+        stream_stride)).c_str());
+    std::printf("segment engine bit-identical to scalar oracle: %s\n\n",
+                seg_identical ? "yes" : "NO -- BUG");
+
+    // ------------------------------------------------------------------
     // JSON report.
     // ------------------------------------------------------------------
     FILE *f = std::fopen(json_path, "w");
@@ -445,8 +605,24 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"serial_sec\": %.6f,\n", serial_sec);
     std::fprintf(f, "    \"parallel_sec\": %.6f,\n", parallel_sec);
     std::fprintf(f, "    \"speedup\": %.2f,\n", sp_sched);
-    std::fprintf(f, "    \"identical\": %s\n",
+    std::fprintf(f, "    \"identical\": %s,\n",
                  sweep_identical ? "true" : "false");
+    std::fprintf(f, "    \"cells\": [\n");
+    for (size_t i = 0; i < parallel_cells.size(); ++i) {
+        std::fprintf(f,
+                     "      {\"workload\": \"%s\", \"config\": \"%s\", "
+                     "\"serial_sec\": %.6f, \"parallel_sec\": %.6f, "
+                     "\"parallel_setup_sec\": %.6f, "
+                     "\"parallel_eval_sec\": %.6f}%s\n",
+                     parallel_cells[i].workload.c_str(),
+                     parallel_cells[i].config.c_str(),
+                     serial_times[i].totalSec,
+                     parallel_times[i].totalSec,
+                     parallel_times[i].setupSec,
+                     parallel_times[i].evalSec(),
+                     i + 1 < parallel_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"fig_sweep\": {\n");
     std::fprintf(f, "    \"workload\": \"DS2\",\n");
@@ -477,6 +653,30 @@ main(int argc, char **argv)
                  reg_no_builds ? "true" : "false");
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  reg_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"segment_replay\": {\n");
+    std::fprintf(f, "    \"gemm\": \"%llux%llux%llu tile %u\",\n",
+                 static_cast<unsigned long long>(gm),
+                 static_cast<unsigned long long>(gn),
+                 static_cast<unsigned long long>(gk), gtile);
+    std::fprintf(f, "    \"gemm_accesses\": %llu,\n",
+                 static_cast<unsigned long long>(gemm_segs.accesses()));
+    std::fprintf(f, "    \"gemm_segments\": %zu,\n", gemm_segs.size());
+    std::fprintf(f, "    \"gemm_scalar_sec\": %.6f,\n",
+                 gemm_scalar.sec);
+    std::fprintf(f, "    \"gemm_block_sec\": %.6f,\n", gemm_block.sec);
+    std::fprintf(f, "    \"gemm_segment_sec\": %.6f,\n",
+                 gemm_segment.sec);
+    std::fprintf(f, "    \"speedup\": %.2f,\n", sp_seg_scalar);
+    std::fprintf(f, "    \"speedup_vs_block\": %.2f,\n", sp_seg_block);
+    std::fprintf(f, "    \"speedup_floor\": %.2f,\n", seg_floor);
+    std::fprintf(f, "    \"stream_scalar_sec\": %.6f,\n",
+                 stream_scalar.sec);
+    std::fprintf(f, "    \"stream_segment_sec\": %.6f,\n",
+                 stream_segment.sec);
+    std::fprintf(f, "    \"stream_speedup\": %.2f,\n", sp_stream);
+    std::fprintf(f, "    \"bit_identical\": %s\n",
+                 seg_identical ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -514,6 +714,16 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: snapshot-registry speedup %.2fx "
                      "(need >= %.1fx), identical=%d, no_builds=%d\n",
                      sp_reg, reg_floor, reg_identical, reg_no_builds);
+        return 1;
+    }
+
+    // Segment-replay contract: the piecewise engine is bit-identical
+    // to the scalar oracle and beats the callback-plus-scalar path
+    // by >= 5x on the blocked-GEMM hit-rate measurement.
+    if (!seg_identical || sp_seg_scalar < seg_floor) {
+        std::fprintf(stderr, "FAIL: segment-replay speedup %.2fx "
+                     "(need >= %.1fx), identical=%d\n", sp_seg_scalar,
+                     seg_floor, seg_identical);
         return 1;
     }
     return 0;

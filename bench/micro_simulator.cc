@@ -9,10 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include "common/strutil.hh"
+#include "common/units.hh"
 #include "models/ds2.hh"
 #include "models/gnmt.hh"
 #include "nn/autotune.hh"
 #include "nn/kernel_gen.hh"
+#include "sim/access_gen.hh"
+#include "sim/cache_model.hh"
 #include "sim/cache_sim.hh"
 #include "sim/gpu.hh"
 
@@ -107,6 +110,66 @@ BM_CacheSimAccesses(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheSimAccesses);
+
+void
+BM_GemmHitRateScalar(benchmark::State &state)
+{
+    // The blocked-GEMM hit-rate measurement through the scalar
+    // oracle, access by access (the pre-segment measureHitRate).
+    sim::CacheSim cache(kib(256), 8, 64);
+    for (auto _ : state) {
+        cache.reset();
+        sim::genBlockedGemm(256, 256, 256, 64,
+                            [&](uint64_t a, bool w) {
+                                cache.access(a, w);
+                            });
+        benchmark::DoNotOptimize(cache.stats());
+    }
+    state.SetLabel(csprintf("hit rate %.1f%%",
+                            100.0 * cache.stats().hitRate()));
+}
+BENCHMARK(BM_GemmHitRateScalar);
+
+void
+BM_GemmHitRateBatched(benchmark::State &state)
+{
+    // The same stream materialized once and replayed through the
+    // batched accessBlock scan.
+    sim::AccessTrace trace;
+    sim::genBlockedGemm(256, 256, 256, 64, trace.sink());
+    sim::CacheSim cache(kib(256), 8, 64);
+    for (auto _ : state) {
+        cache.reset();
+        cache.accessBlock(trace, 0, trace.size());
+        benchmark::DoNotOptimize(cache.stats());
+    }
+}
+BENCHMARK(BM_GemmHitRateBatched);
+
+void
+BM_GemmHitRateSegments(benchmark::State &state)
+{
+    // Segment descriptors through the piecewise-analytic engine
+    // (generation included; it is O(segments)).
+    sim::CacheSim cache(kib(256), 8, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::replaySegments(
+            cache, sim::genBlockedGemmSegments(256, 256, 256, 64)));
+    }
+}
+BENCHMARK(BM_GemmHitRateSegments);
+
+void
+BM_StreamHitRateSegments(benchmark::State &state)
+{
+    // Pure streaming sweep: one descriptor, closed form.
+    sim::CacheSim cache(kib(256), 8, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::replaySegments(
+            cache, sim::genStreamingSegments(mib(32), 16)));
+    }
+}
+BENCHMARK(BM_StreamHitRateSegments);
 
 void
 BM_MeasuredAutotunePerShape(benchmark::State &state)

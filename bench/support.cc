@@ -45,10 +45,24 @@ parseFigArgs(int argc, char **argv)
                              "--snapshot-dir: empty path\n");
                 std::exit(2);
             }
+        } else if (std::strcmp(argv[i], "--snapshot-cap-mb") == 0 &&
+                   i + 1 < argc) {
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            unsigned long n = std::strtoul(arg, &end, 10);
+            if (end == arg || *end != '\0' || arg[0] == '-' ||
+                n > 1u << 20) {
+                std::fprintf(stderr, "--snapshot-cap-mb: expected a "
+                             "size in [0, 1048576] MiB, got '%s'\n",
+                             arg);
+                std::exit(2);
+            }
+            opts.snapshotCapMb = static_cast<unsigned>(n);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--serial] "
-                         "[--verify-serial] [--snapshot-dir PATH]\n",
+                         "[--verify-serial] [--snapshot-dir PATH] "
+                         "[--snapshot-cap-mb N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -101,7 +115,8 @@ openRegistry(const FigOptions &opts)
     if (opts.snapshotDir.empty())
         return nullptr;
     return std::make_unique<harness::SnapshotRegistry>(
-        opts.snapshotDir);
+        opts.snapshotDir,
+        static_cast<uint64_t>(opts.snapshotCapMb) << 20);
 }
 
 void

@@ -39,12 +39,15 @@ struct FigOptions {
                                ///< byte-identical results (CI guard).
     std::string snapshotDir;   ///< Snapshot store directory; ""
                                ///< disables the persistent registry.
+    unsigned snapshotCapMb = 0; ///< Store size cap in MiB; 0 =
+                                ///< unbounded (LRU-by-mtime
+                                ///< eviction keeps it under cap).
 };
 
 /**
  * Parse figure-bench arguments: --threads N, --serial,
- * --verify-serial, --snapshot-dir PATH. Unknown arguments print
- * usage and exit(2).
+ * --verify-serial, --snapshot-dir PATH, --snapshot-cap-mb N.
+ * Unknown arguments print usage and exit(2).
  */
 FigOptions parseFigArgs(int argc, char **argv);
 

@@ -6,6 +6,7 @@
 #include "harness/scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace seqpoint {
@@ -16,6 +17,13 @@ ExperimentScheduler::ExperimentScheduler(unsigned threads)
                          : std::max(1u,
                                     std::thread::hardware_concurrency()))
 {
+}
+
+double
+ExperimentScheduler::wallNow()
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now().time_since_epoch()).count();
 }
 
 void
@@ -66,20 +74,22 @@ std::vector<EpochCellResult>
 ExperimentScheduler::epochSweep(
     const std::vector<WorkloadFactory> &workloads,
     const std::vector<sim::GpuConfig> &configs,
-    const Snapshots &snapshots) const
+    const Snapshots &snapshots,
+    std::vector<CellTiming> *timings) const
 {
     return mapCells<EpochCellResult>(workloads, configs, epochCell,
-                                     snapshots);
+                                     snapshots, timings);
 }
 
 std::vector<EpochCellResult>
 ExperimentScheduler::epochSweep(
     const std::vector<WorkloadFactory> &workloads,
     const std::vector<sim::GpuConfig> &configs,
-    SnapshotRegistry &registry) const
+    SnapshotRegistry &registry,
+    std::vector<CellTiming> *timings) const
 {
     return mapCells<EpochCellResult>(workloads, configs, epochCell,
-                                     registry);
+                                     registry, timings);
 }
 
 } // namespace harness

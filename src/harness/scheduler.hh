@@ -27,6 +27,21 @@
 namespace seqpoint {
 namespace harness {
 
+/**
+ * Wall-time breakdown of one sweep cell, for the bench reports that
+ * chase scheduler regressions: where a cell's time goes -- standing
+ * the Experiment up (construction + snapshot seeding) versus running
+ * the cell body. Collected outside the results so identity
+ * comparisons (parallel vs serial) stay exact.
+ */
+struct CellTiming {
+    double totalSec = 0.0; ///< Construct + seed + eval, wall time.
+    double setupSec = 0.0; ///< Experiment construction + seeding.
+
+    /** @return Cell-body (eval) wall time. */
+    double evalSec() const { return totalSec - setupSec; }
+};
+
 /** Epoch-level measurements of one (workload, config) sweep cell. */
 struct EpochCellResult {
     std::string workload;       ///< Workload name.
@@ -111,6 +126,9 @@ class ExperimentScheduler
      * @param eval Cell body; runs on a pool thread with a private
      *             Experiment. Must not touch shared mutable state.
      * @param snapshots Per-cell snapshot source, or null for none.
+     * @param timings Optional per-cell wall-time breakdown out
+     *                (resized to the cell count; same indexing as
+     *                the results). Never affects the results.
      * @return Results in workload-major, config-minor order.
      */
     template <typename R>
@@ -119,21 +137,30 @@ class ExperimentScheduler
              const std::vector<sim::GpuConfig> &configs,
              const std::function<R(Experiment &,
                                    const sim::GpuConfig &)> &eval,
-             const SnapshotProvider &snapshots) const
+             const SnapshotProvider &snapshots,
+             std::vector<CellTiming> *timings = nullptr) const
     {
         // vector<bool> packs bits, so concurrent element writes from
         // pool threads would race; wrap bools in a struct instead.
         static_assert(!std::is_same_v<R, bool>,
                       "mapCells<bool> would race on vector<bool> bits");
         std::vector<R> results(workloads.size() * configs.size());
+        if (timings)
+            timings->assign(results.size(), CellTiming{});
         forEachCell(workloads.size(), configs.size(),
                     [&](std::size_t cell, std::size_t w, std::size_t c) {
+                        double t0 = wallNow();
                         Experiment exp(workloads[w]());
                         exp.setProfileThreads(
                             cellProfileThreads ? cellProfileThreads : 1);
                         if (snapshots)
                             exp.seedFrom(snapshots(w, configs[c], exp));
+                        double t1 = wallNow();
                         results[cell] = eval(exp, configs[c]);
+                        if (timings) {
+                            (*timings)[cell].totalSec = wallNow() - t0;
+                            (*timings)[cell].setupSec = t1 - t0;
+                        }
                     });
         return results;
     }
@@ -151,7 +178,8 @@ class ExperimentScheduler
              const std::vector<sim::GpuConfig> &configs,
              const std::function<R(Experiment &,
                                    const sim::GpuConfig &)> &eval,
-             const Snapshots &snapshots = {}) const
+             const Snapshots &snapshots = {},
+             std::vector<CellTiming> *timings = nullptr) const
     {
         panic_if(!snapshots.empty() &&
                      snapshots.size() != workloads.size(),
@@ -165,7 +193,7 @@ class ExperimentScheduler
                 return snapshots[w];
             };
         }
-        return mapCells<R>(workloads, configs, eval, provider);
+        return mapCells<R>(workloads, configs, eval, provider, timings);
     }
 
     /**
@@ -189,7 +217,8 @@ class ExperimentScheduler
              const std::vector<sim::GpuConfig> &configs,
              const std::function<R(Experiment &,
                                    const sim::GpuConfig &)> &eval,
-             SnapshotRegistry &registry) const
+             SnapshotRegistry &registry,
+             std::vector<CellTiming> *timings = nullptr) const
     {
         unsigned inner = cellProfileThreads ? cellProfileThreads : 1;
         return mapCells<R>(
@@ -202,7 +231,8 @@ class ExperimentScheduler
                 // cache hit costs no second workload build.
                 return registry.acquire(exp.workload(), workloads[w],
                                         cfg, inner, exp.options());
-            }));
+            }),
+            timings);
     }
 
     /**
@@ -212,12 +242,14 @@ class ExperimentScheduler
      * @param workloads Workload factories.
      * @param configs Hardware configurations.
      * @param snapshots Optional per-workload cold-start snapshots.
+     * @param timings Optional per-cell wall-time breakdown out.
      * @return Cell results in workload-major, config-minor order.
      */
     std::vector<EpochCellResult>
     epochSweep(const std::vector<WorkloadFactory> &workloads,
                const std::vector<sim::GpuConfig> &configs,
-               const Snapshots &snapshots = {}) const;
+               const Snapshots &snapshots = {},
+               std::vector<CellTiming> *timings = nullptr) const;
 
     /**
      * Registry-aware epoch sweep: every cell acquires its own
@@ -228,16 +260,21 @@ class ExperimentScheduler
      * @param workloads Workload factories.
      * @param configs Hardware configurations.
      * @param registry Snapshot registry (shared; thread-safe).
+     * @param timings Optional per-cell wall-time breakdown out.
      * @return Cell results in workload-major, config-minor order.
      */
     std::vector<EpochCellResult>
     epochSweep(const std::vector<WorkloadFactory> &workloads,
                const std::vector<sim::GpuConfig> &configs,
-               SnapshotRegistry &registry) const;
+               SnapshotRegistry &registry,
+               std::vector<CellTiming> *timings = nullptr) const;
 
   private:
     unsigned numThreads;
     unsigned cellProfileThreads = 1;
+
+    /** Monotonic wall clock in seconds (cell-timing collection). */
+    static double wallNow();
 
     /**
      * Invoke fn(cell, w, c) for every cell, across the pool when

@@ -142,9 +142,10 @@ encodeSnapshotPayload(const ModelSnapshot &snap)
     for (const nn::AutotuneEntry &e : snap.tunerEntries)
         nn::encodeAutotuneEntry(w, e);
 
-    w.u64(snap.timingEntries.size());
-    for (const sim::TimingCacheEntry &e : snap.timingEntries)
-        sim::encodeTimingCacheEntry(w, e);
+    // The timing cache dominates the file; the compact section
+    // delta-codes it in canonical signature order (which also makes
+    // the payload independent of hash-map iteration order).
+    sim::encodeTimingSection(w, snap.timingEntries);
 
     encodeProfileMap(w, snap.trainProfiles);
     encodeProfileMap(w, snap.inferProfiles);
@@ -185,11 +186,7 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what)
     for (uint64_t i = 0; i < tuner_n; ++i)
         snap.tunerEntries.push_back(nn::decodeAutotuneEntry(r));
 
-    uint64_t timing_n = r.u64();
-    snap.timingEntries.reserve(static_cast<size_t>(
-        std::min<uint64_t>(timing_n, r.remaining() / 8)));
-    for (uint64_t i = 0; i < timing_n; ++i)
-        snap.timingEntries.push_back(sim::decodeTimingCacheEntry(r));
+    snap.timingEntries = sim::decodeTimingSection(r);
 
     snap.trainProfiles = decodeProfileMap(r);
     snap.inferProfiles = decodeProfileMap(r);
@@ -258,10 +255,16 @@ saveSnapshot(const ModelSnapshot &snap, const std::string &path)
     return true;
 }
 
+namespace {
+
+/** Shared loader: `missing_ok` turns an unopenable file into null. */
 std::shared_ptr<const ModelSnapshot>
-loadSnapshot(const std::string &path, const SnapshotKey *expect)
+loadSnapshotImpl(const std::string &path, const SnapshotKey *expect,
+                 bool missing_ok)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in && missing_ok)
+        return nullptr;
     fatal_if(!in, "loadSnapshot: cannot open '%s'", path.c_str());
     std::streamoff size = in.tellg();
     fatal_if(size < 0, "loadSnapshot: cannot stat '%s'", path.c_str());
@@ -316,6 +319,21 @@ loadSnapshot(const std::string &path, const SnapshotKey *expect)
                  got.paramDigest.c_str(), expect->paramDigest.c_str());
     }
     return snap;
+}
+
+} // anonymous namespace
+
+std::shared_ptr<const ModelSnapshot>
+loadSnapshot(const std::string &path, const SnapshotKey *expect)
+{
+    return loadSnapshotImpl(path, expect, /*missing_ok=*/false);
+}
+
+std::shared_ptr<const ModelSnapshot>
+loadSnapshotIfPresent(const std::string &path,
+                      const SnapshotKey *expect)
+{
+    return loadSnapshotImpl(path, expect, /*missing_ok=*/true);
 }
 
 } // namespace harness

@@ -35,8 +35,12 @@ namespace harness {
  * to the semantics of an encoded field; old files then fail the
  * version check (and the store file name changes too, so a shared
  * cache simply rebuilds instead of erroring).
+ *
+ * v2: the timing-cache section (~95% of a v1 file) moved to the
+ * canonically-ordered varint/delta form (sim::encodeTimingSection);
+ * v1 files are rejected loudly, as designed.
  */
-constexpr uint32_t kSnapshotFormatVersion = 1;
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /**
  * Full identity of a snapshot: everything the snapshotted state is a
@@ -114,6 +118,22 @@ bool saveSnapshot(const ModelSnapshot &snap, const std::string &path);
 std::shared_ptr<const ModelSnapshot>
 loadSnapshot(const std::string &path,
              const SnapshotKey *expect = nullptr);
+
+/**
+ * Like loadSnapshot(), but a file that cannot be opened returns null
+ * instead of aborting -- the registry's store races (a concurrent
+ * process evicting or not-yet-writing the file) are an expected
+ * miss, not corruption. Every validation failure on a file that
+ * *can* be opened remains fatal.
+ *
+ * @param path Source file.
+ * @param expect Identity the caller requires, or null.
+ * @return The decoded snapshot, or null when `path` cannot be
+ *         opened.
+ */
+std::shared_ptr<const ModelSnapshot>
+loadSnapshotIfPresent(const std::string &path,
+                      const SnapshotKey *expect = nullptr);
 
 } // namespace harness
 } // namespace seqpoint

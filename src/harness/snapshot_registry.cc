@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -16,8 +17,9 @@ namespace harness {
 
 namespace fs = std::filesystem;
 
-SnapshotRegistry::SnapshotRegistry(std::string dir)
-    : dir(std::move(dir))
+SnapshotRegistry::SnapshotRegistry(std::string dir,
+                                   uint64_t store_cap_bytes)
+    : dir(std::move(dir)), storeCap(store_cap_bytes)
 {
     if (this->dir.empty())
         return;
@@ -26,6 +28,68 @@ SnapshotRegistry::SnapshotRegistry(std::string dir)
     fatal_if(static_cast<bool>(ec),
              "SnapshotRegistry: cannot create store directory '%s': %s",
              this->dir.c_str(), ec.message().c_str());
+}
+
+void
+SnapshotRegistry::touchStoreFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    // Best-effort: a read-only store still serves hits, it just
+    // ages by write time instead of use time.
+}
+
+void
+SnapshotRegistry::enforceStoreCap(const std::string &just_written)
+{
+    if (storeCap == 0)
+        return;
+    std::lock_guard<std::mutex> lock(storeMu);
+
+    struct StoreFile {
+        std::string path;
+        fs::file_time_type mtime;
+        uint64_t bytes;
+    };
+    std::vector<StoreFile> files;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.path().extension() != ".bin")
+            continue; // skip .tmp files of in-flight writers
+        std::error_code fec;
+        uint64_t bytes = entry.file_size(fec);
+        fs::file_time_type mtime = entry.last_write_time(fec);
+        if (fec)
+            continue; // raced with a concurrent remove
+        files.push_back({entry.path().string(), mtime, bytes});
+        total += bytes;
+    }
+
+    std::sort(files.begin(), files.end(),
+              [](const StoreFile &a, const StoreFile &b) {
+                  return a.mtime < b.mtime;
+              });
+
+    uint64_t evicted = 0;
+    for (const StoreFile &f : files) {
+        if (total <= storeCap)
+            break;
+        // Never evict the snapshot this call just persisted: with a
+        // cap below one file the store degrades to keep-latest-only
+        // instead of thrashing what the caller is about to reuse.
+        if (f.path == just_written)
+            continue;
+        std::error_code rec;
+        if (fs::remove(f.path, rec) && !rec) {
+            total -= f.bytes;
+            ++evicted;
+        }
+    }
+    if (evicted) {
+        std::lock_guard<std::mutex> stats_lock(mu);
+        stats_.storeEvictions += evicted;
+    }
 }
 
 std::shared_ptr<SnapshotRegistry::Slot>
@@ -54,10 +118,17 @@ SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
     }
     if (!dir.empty()) {
         std::string path = pathFor(key);
-        if (fs::exists(path)) {
-            // Validated against the full key: a wrong file under this
-            // name is fatal, never silently adopted.
-            slot.snap = loadSnapshot(path, &key);
+        // Validated against the full key: a wrong file under this
+        // name is fatal, never silently adopted. A file that cannot
+        // be opened is a plain miss -- a concurrent registry's
+        // eviction (or an in-flight writer) may remove or not yet
+        // have produced it between any existence check and the open,
+        // and store races are tolerated, never fatal.
+        if (auto snap = loadSnapshotIfPresent(path, &key)) {
+            slot.snap = std::move(snap);
+            // Refresh recency so a capped store evicts cold entries,
+            // not the ones CI replays every run.
+            touchStoreFile(path);
             std::lock_guard<std::mutex> lock(mu);
             ++stats_.diskHits;
             return slot.snap;
@@ -87,8 +158,11 @@ SnapshotRegistry::acquire(
              "SnapshotRegistry: builder produced a snapshot for a "
              "different identity than requested (workload '%s')",
              key.workload.c_str());
-    if (!dir.empty())
-        saveSnapshot(*snap, pathFor(key));
+    if (!dir.empty()) {
+        std::string path = pathFor(key);
+        if (saveSnapshot(*snap, path))
+            enforceStoreCap(path);
+    }
     slot->snap = std::move(snap);
     std::lock_guard<std::mutex> lock(mu);
     ++stats_.builds;

@@ -32,6 +32,7 @@ struct SnapshotRegistryStats {
     uint64_t memoryHits = 0; ///< Served from the in-process cache.
     uint64_t diskHits = 0;   ///< Loaded (and validated) from the store.
     uint64_t builds = 0;     ///< Built by running the cold start.
+    uint64_t storeEvictions = 0; ///< Store files removed by the cap.
 };
 
 /**
@@ -55,11 +56,22 @@ class SnapshotRegistry
      *
      * @param dir On-disk store directory (created if missing); empty
      *            for an in-process-only registry.
+     * @param store_cap_bytes Size cap on the store's snapshot files;
+     *            0 means unbounded. When a save pushes the store
+     *            past the cap, the least-recently-used files
+     *            (LRU by mtime; disk hits refresh a file's mtime)
+     *            are evicted until it fits again -- the file just
+     *            written is never evicted, so a cap below one
+     *            snapshot degrades to keep-latest-only.
      */
-    explicit SnapshotRegistry(std::string dir = "");
+    explicit SnapshotRegistry(std::string dir = "",
+                              uint64_t store_cap_bytes = 0);
 
     /** @return The store directory ("" when memory-only). */
     const std::string &storeDir() const { return dir; }
+
+    /** @return The store size cap in bytes (0 = unbounded). */
+    uint64_t storeCapBytes() const { return storeCap; }
 
     /**
      * Get the snapshot for `key`, building it with `build` on a miss
@@ -136,12 +148,28 @@ class SnapshotRegistry
     };
 
     std::string dir;
+    uint64_t storeCap = 0;
     mutable std::mutex mu;
+    std::mutex storeMu; ///< Serialises store-wide eviction scans.
     std::map<std::string, std::shared_ptr<Slot>> slots;
     SnapshotRegistryStats stats_;
 
     std::shared_ptr<Slot> slotFor(const SnapshotKey &key);
     std::string pathFor(const SnapshotKey &key) const;
+
+    /**
+     * Enforce the store cap after a save: while the store's .bin
+     * files exceed it, remove the oldest-mtime file other than
+     * `just_written`. Filesystem errors (e.g. a concurrent process
+     * racing on the same store) are tolerated, never fatal.
+     */
+    void enforceStoreCap(const std::string &just_written);
+
+    /**
+     * Refresh `path`'s mtime so LRU eviction tracks use, not just
+     * creation (called on disk hits; errors ignored).
+     */
+    static void touchStoreFile(const std::string &path);
 
     /**
      * Memory-then-store lookup for `key`; the caller must hold the

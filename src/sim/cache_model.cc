@@ -66,61 +66,99 @@ evalMemoryBreakdown(const KernelDesc &desc, const GpuConfig &cfg)
 }
 
 bool
-analyticStreamApplicable(const StrideSegment &seg, unsigned line_bytes)
+analyticStreamApplicable(const SegDesc &seg, unsigned line_bytes)
 {
-    if (!seg.uniform || seg.stride == 0)
+    if (seg.count == 0 || seg.stride < 0)
         return false;
-    return seg.stride <= line_bytes || seg.stride % line_bytes == 0;
+    uint64_t s = static_cast<uint64_t>(seg.stride);
+    return s <= line_bytes || s % line_bytes == 0;
+}
+
+StreamShape
+streamShape(const SegDesc &seg, uint64_t sets, unsigned line_bytes)
+{
+    panic_if(!analyticStreamApplicable(seg, line_bytes),
+             "streamShape: segment not applicable");
+    panic_if(sets == 0, "streamShape: zero sets");
+
+    const uint64_t line = line_bytes;
+    const uint64_t s = static_cast<uint64_t>(seg.stride);
+
+    StreamShape sh;
+    sh.firstLine = seg.firstAddr / line;
+    if (s <= line) {
+        // Every line in [first, last] is touched (consecutive
+        // accesses advance at most one line; stride 0 stays put).
+        uint64_t last_line =
+            (seg.firstAddr + (seg.count - 1) * s) / line;
+        sh.q = 1;
+        sh.distinct = last_line - sh.firstLine + 1;
+    } else {
+        // Exact line multiple: an arithmetic line sequence, one
+        // access (and one distinct line) per step.
+        sh.q = s / line;
+        sh.distinct = seg.count;
+    }
+    // Lines land on sets (firstLine + t*q) mod sets, cycling with
+    // period sets / gcd(q, sets) and visiting `period` distinct sets
+    // exactly once per cycle.
+    sh.period = sets / std::gcd(sh.q, sets);
+    return sh;
 }
 
 CacheStats
-analyticStreamStats(const StrideSegment &seg, uint64_t sets,
-                    unsigned assoc, unsigned line_bytes)
+analyticStreamStats(const SegDesc &seg, uint64_t sets, unsigned assoc,
+                    unsigned line_bytes)
 {
-    panic_if(!analyticStreamApplicable(seg, line_bytes),
-             "analyticStreamStats: segment not applicable");
-    panic_if(sets == 0 || assoc == 0,
-             "analyticStreamStats: bad geometry");
+    panic_if(assoc == 0, "analyticStreamStats: bad geometry");
+    StreamShape sh = streamShape(seg, sets, line_bytes);
 
-    const uint64_t n = seg.count;
-    const uint64_t line = line_bytes;
-
-    // Distinct lines D and the line-address step q. stride <= line
-    // touches every line in [first, last] (step 1); a stride that is
-    // an exact line multiple visits an arithmetic line sequence of n
-    // distinct lines (step stride/line).
-    uint64_t first_line = seg.firstAddr / line;
-    uint64_t q, distinct;
-    if (seg.stride <= line) {
-        uint64_t last_line = (seg.firstAddr + (n - 1) * seg.stride) /
-            line;
-        q = 1;
-        distinct = last_line - first_line + 1;
-    } else {
-        q = seg.stride / line;
-        distinct = n;
-    }
-
-    // Lines land on sets (first_line + j*q) mod sets, which cycles
-    // with period P = sets / gcd(q, sets), visiting P distinct sets
-    // exactly once per period. Each visited set therefore holds
-    // either floor(D/P) or ceil(D/P) of the stream's lines; a set
-    // overflows (and evicts, LRU) only beyond its assoc ways.
-    uint64_t period = sets / std::gcd(q, sets);
-    uint64_t per_set = distinct / period;
+    // Each touched set holds either floor(D/P) or ceil(D/P) of the
+    // stream's lines; a set overflows (and evicts, LRU) only beyond
+    // its assoc ways.
+    uint64_t per_set = sh.distinct / sh.period;
 
     CacheStats s;
-    s.accesses = n;
+    s.accesses = seg.count;
     // Line addresses are non-decreasing and each line's accesses are
     // consecutive, so every access past the first touch of its line
     // hits, and every distinct line misses exactly once.
-    s.misses = distinct;
-    s.hits = n - distinct;
-    s.evictions = per_set >= assoc ? distinct - period * assoc : 0;
+    s.misses = sh.distinct;
+    s.hits = seg.count - sh.distinct;
+    s.evictions = per_set >= assoc
+        ? sh.distinct - sh.period * assoc : 0;
     // Write-allocate streams leave every installed line dirty, so
     // each eviction writes back; read streams never dirty a line.
     s.writebacks = seg.write ? s.evictions : 0;
     return s;
+}
+
+void
+replaySegmentsResume(CacheSim &cache, const SegmentList &list)
+{
+    const unsigned line = cache.lineSize();
+    for (const SegDesc &seg : list.segments()) {
+        if (analyticStreamApplicable(seg, line) &&
+            cache.segmentSetsCold(seg)) {
+            cache.applyColdStream(seg);
+        } else {
+            cache.accessSegment(seg);
+        }
+    }
+}
+
+CacheStats
+replaySegments(CacheSim &cache, const SegmentList &list)
+{
+    cache.reset();
+    replaySegmentsResume(cache, list);
+    return cache.stats();
+}
+
+double
+measureHitRateSegments(CacheSim &cache, const SegmentList &list)
+{
+    return replaySegments(cache, list).hitRate();
 }
 
 } // namespace sim

@@ -4,6 +4,14 @@
  * reuse into L1/L2 hit fractions for a given device. The parametric
  * form is validated against the set-associative cache simulator
  * (sim/cache_sim.hh) in the test suite and the cache ablation bench.
+ *
+ * Also hosts the piecewise-analytic replay engine: a SegmentList
+ * (access_gen.hh) replays segment by segment, accounting each run
+ * whose touched sets are still cold in closed form
+ * (CacheSim::applyColdStream) and every other run at line-run
+ * granularity (CacheSim::accessSegment). Per-set occupancy state
+ * carries across segments inside the CacheSim, so the composition is
+ * bit-identical to the scalar access() oracle on the expanded stream.
  */
 
 #ifndef SEQPOINT_SIM_CACHE_MODEL_HH
@@ -59,34 +67,92 @@ MemoryBreakdown evalMemoryBreakdown(const KernelDesc &desc,
  * Whether the closed-form streaming account applies to a segment on
  * a cache with the given line size.
  *
- * Applicability requires line addresses that advance by a constant
- * number of lines: stride <= line (consecutive lines) or stride an
- * exact multiple of the line size (arithmetic line sequence). Other
- * strides straddle lines unevenly and must be simulated.
+ * Applicability requires a non-negative stride whose line addresses
+ * advance by a constant number of lines: stride <= line (consecutive
+ * lines, including line-straddling sub-line strides and stride 0)
+ * or stride an exact multiple of the line size (arithmetic line
+ * sequence). Negative strides and other line-straddling strides must
+ * be replayed (CacheSim::accessSegment handles them exactly).
  *
- * @param seg Detected streaming segment.
+ * @param seg Candidate segment.
  * @param line_bytes Cache line size.
  */
-bool analyticStreamApplicable(const StrideSegment &seg,
-                              unsigned line_bytes);
+bool analyticStreamApplicable(const SegDesc &seg, unsigned line_bytes);
 
 /**
- * Closed-form cache statistics for a pure streaming segment on a
- * cold (reset) set-associative LRU cache.
+ * Line-address shape of an applicable streaming segment: the run
+ * visits `distinct` lines starting at `firstLine`, stepping `q`
+ * lines per distinct line, landing on sets with period `period`
+ * (each touched set is visited once per period).
+ */
+struct StreamShape {
+    uint64_t firstLine = 0; ///< First line address.
+    uint64_t q = 0;         ///< Line step between distinct lines.
+    uint64_t distinct = 0;  ///< Distinct lines touched.
+    uint64_t period = 0;    ///< Touched-set cycle length.
+};
+
+/**
+ * Compute the line-address shape of an applicable segment.
+ *
+ * @param seg Applicable segment (panics otherwise).
+ * @param sets Number of cache sets.
+ * @param line_bytes Cache line size.
+ */
+StreamShape streamShape(const SegDesc &seg, uint64_t sets,
+                        unsigned line_bytes);
+
+/**
+ * Closed-form cache statistics for a streaming segment whose touched
+ * sets are all empty (in particular, any applicable segment on a
+ * cold cache).
  *
  * Because line addresses are non-decreasing and each line's accesses
  * are consecutive, hits are exactly accesses minus distinct lines,
  * and evictions follow from the per-set line counts -- no per-address
  * simulation. The result is bit-identical to the scalar oracle
- * whenever analyticStreamApplicable() holds.
+ * whenever analyticStreamApplicable() holds and the touched sets are
+ * cold.
  *
- * @param seg Detected streaming segment (must be applicable).
+ * @param seg Applicable segment (panics otherwise).
  * @param sets Number of cache sets.
  * @param assoc Ways per set.
  * @param line_bytes Cache line size.
  */
-CacheStats analyticStreamStats(const StrideSegment &seg, uint64_t sets,
+CacheStats analyticStreamStats(const SegDesc &seg, uint64_t sets,
                                unsigned assoc, unsigned line_bytes);
+
+/**
+ * Piecewise-analytic replay of a segment list on the cache's current
+ * state (composition entry point: call repeatedly to replay a stream
+ * in chunks). Each segment is accounted in closed form when every
+ * set it touches is still empty, and replayed at line-run
+ * granularity otherwise; statistics and final cache state are
+ * bit-identical to the scalar oracle on the expanded stream.
+ *
+ * @param cache Cache to exercise (current state is the start state).
+ * @param list Segment descriptors to replay.
+ */
+void replaySegmentsResume(CacheSim &cache, const SegmentList &list);
+
+/**
+ * Piecewise-analytic replay of a segment list on a reset cache.
+ *
+ * @param cache Cache to exercise (reset first).
+ * @param list Segment descriptors to replay.
+ * @return Statistics of the full replay.
+ */
+CacheStats replaySegments(CacheSim &cache, const SegmentList &list);
+
+/**
+ * Hit rate of a segment list on a reset cache via the piecewise
+ * engine (the segment-descriptor counterpart of measureHitRate()).
+ *
+ * @param cache Cache to exercise (reset first).
+ * @param list Segment descriptors to replay.
+ * @return Hit rate observed over the whole stream.
+ */
+double measureHitRateSegments(CacheSim &cache, const SegmentList &list);
 
 } // namespace sim
 } // namespace seqpoint

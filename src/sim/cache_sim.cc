@@ -5,10 +5,12 @@
 
 #include "sim/cache_sim.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
 #include "sim/access_gen.hh"
+#include "sim/cache_model.hh"
 
 namespace seqpoint {
 namespace sim {
@@ -35,6 +37,7 @@ CacheSim::CacheSim(uint64_t size_bytes, unsigned assoc, unsigned line_bytes)
     tags.assign(sets * assoc, 0);
     lastUse.assign(sets * assoc, 0);
     flags.assign(sets * assoc, 0);
+    setOcc.assign(sets, 0);
 }
 
 bool
@@ -81,6 +84,9 @@ CacheSim::access(uint64_t addr, bool write)
         ++stats_.evictions;
         if (flags[victim] & kDirty)
             ++stats_.writebacks;
+    } else {
+        ++setOcc[set];
+        ++validLines;
     }
 
     tags[victim] = tag;
@@ -148,8 +154,13 @@ CacheSim::accessBlock(const AccessTrace &trace, std::size_t begin,
         }
 
         uint8_t vf = flags[victim];
-        n_evict += (vf & kValid) ? 1 : 0;
-        n_wb += ((vf & kValid) && (vf & kDirty)) ? 1 : 0;
+        if (vf & kValid) {
+            ++n_evict;
+            n_wb += (vf & kDirty) ? 1 : 0;
+        } else {
+            ++setOcc[set];
+            ++validLines;
+        }
 
         tags[victim] = tag;
         lastUse[victim] = clock;
@@ -166,11 +177,255 @@ CacheSim::accessBlock(const AccessTrace &trace, std::size_t begin,
 }
 
 void
+CacheSim::accessLineRun(uint64_t line_addr, uint64_t cnt, bool write)
+{
+    uint64_t set = line_addr % sets;
+    uint64_t tag = line_addr / sets;
+    std::size_t base = static_cast<std::size_t>(set) * assoc;
+
+    // Clock semantics match the oracle: access i of the run carries
+    // clock useClock + i + 1, and only the final value is observable
+    // (the line's accesses are consecutive, so intermediate clocks
+    // are never compared).
+    useClock += cnt;
+    stats_.accesses += cnt;
+
+    for (unsigned w = 0; w < assoc; ++w) {
+        std::size_t i = base + w;
+        if ((flags[i] & kValid) && tags[i] == tag) {
+            lastUse[i] = useClock;
+            if (write)
+                flags[i] |= kDirty;
+            stats_.hits += cnt;
+            return;
+        }
+    }
+
+    // Miss on the first access of the run; the remaining cnt-1
+    // accesses hit the freshly installed line.
+    ++stats_.misses;
+    stats_.hits += cnt - 1;
+
+    std::size_t victim = base;
+    uint64_t victim_use = (flags[base] & kValid) ? lastUse[base] : 0;
+    for (unsigned w = 1; w < assoc; ++w) {
+        std::size_t i = base + w;
+        uint64_t use = (flags[i] & kValid) ? lastUse[i] : 0;
+        if (use < victim_use) {
+            victim = i;
+            victim_use = use;
+        }
+    }
+
+    if (flags[victim] & kValid) {
+        ++stats_.evictions;
+        if (flags[victim] & kDirty)
+            ++stats_.writebacks;
+    } else {
+        ++setOcc[set];
+        ++validLines;
+    }
+
+    tags[victim] = tag;
+    lastUse[victim] = useClock;
+    flags[victim] = static_cast<uint8_t>(kValid | (write ? kDirty : 0));
+}
+
+void
+CacheSim::accessSegment(const SegDesc &seg)
+{
+    const uint64_t line = lineBytes;
+    if (seg.count == 0)
+        return;
+
+    if (seg.stride == 0) {
+        accessLineRun(seg.firstAddr >> lineShift, seg.count,
+                      seg.write);
+        return;
+    }
+
+    if (seg.stride > 0 && static_cast<uint64_t>(seg.stride) < line &&
+        line % static_cast<uint64_t>(seg.stride) == 0) {
+        // Dividing sub-line stride (the generators' hot shape): after
+        // a possibly partial first line, every full line carries
+        // exactly line/stride accesses -- one division total instead
+        // of one per line run.
+        const uint64_t s = static_cast<uint64_t>(seg.stride);
+        const uint64_t per = line / s;
+        uint64_t addr = seg.firstAddr;
+        uint64_t line_addr = addr >> lineShift;
+        uint64_t first =
+            (((line_addr + 1) << lineShift) - addr + s - 1) / s;
+        uint64_t run = std::min(first, seg.count);
+        uint64_t i = 0;
+        for (;;) {
+            accessLineRun(line_addr, run, seg.write);
+            i += run;
+            if (i >= seg.count)
+                return;
+            ++line_addr;
+            run = std::min(per, seg.count - i);
+        }
+    }
+
+    uint64_t i = 0;
+    while (i < seg.count) {
+        uint64_t addr = seg.addr(i);
+        uint64_t line_addr = addr >> lineShift;
+        uint64_t run = 1;
+        if (seg.stride > 0) {
+            uint64_t s = static_cast<uint64_t>(seg.stride);
+            if (s < line) {
+                // Accesses until the next line boundary.
+                uint64_t line_end = (line_addr + 1) << lineShift;
+                run = (line_end - addr + s - 1) / s;
+                run = std::min(run, seg.count - i);
+            }
+        } else {
+            uint64_t s = static_cast<uint64_t>(-seg.stride);
+            if (s < line) {
+                // Accesses down to the current line's start.
+                uint64_t line_start = line_addr << lineShift;
+                run = (addr - line_start) / s + 1;
+                run = std::min(run, seg.count - i);
+            }
+        }
+        accessLineRun(line_addr, run, seg.write);
+        i += run;
+    }
+}
+
+bool
+CacheSim::segmentSetsCold(const SegDesc &seg) const
+{
+    if (validLines == 0)
+        return true;
+    StreamShape sh = streamShape(seg, sets, lineBytes);
+    uint64_t touched = std::min(sh.period, sh.distinct);
+    for (uint64_t r = 0; r < touched; ++r) {
+        if (setOcc[(sh.firstLine + r * sh.q) % sets] != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+CacheSim::applyColdStream(const SegDesc &seg)
+{
+    panic_if(!analyticStreamApplicable(seg, lineBytes),
+             "applyColdStream: segment not applicable");
+    panic_if(!segmentSetsCold(seg),
+             "applyColdStream: touched sets are not cold");
+
+    StreamShape sh = streamShape(seg, sets, lineBytes);
+    CacheStats s = analyticStreamStats(seg, sets, assoc, lineBytes);
+    stats_.accesses += s.accesses;
+    stats_.hits += s.hits;
+    stats_.misses += s.misses;
+    stats_.evictions += s.evictions;
+    stats_.writebacks += s.writebacks;
+
+    const uint64_t clock0 = useClock;
+    useClock += seg.count;
+
+    // Index of the last access to the t-th distinct line: the oracle
+    // stamps that access's clock into the line's lastUse.
+    const uint64_t stride = static_cast<uint64_t>(seg.stride);
+    const uint64_t line = lineBytes;
+    auto last_access = [&](uint64_t t) -> uint64_t {
+        if (stride > line)
+            return t; // one access per line (exact line multiples)
+        if (stride == 0)
+            return seg.count - 1;
+        // Largest i with firstAddr + i*stride < (firstLine + t + 1)
+        // * line; clamped to the run's end.
+        uint64_t bound = (sh.firstLine + t + 1) * line - seg.firstAddr;
+        uint64_t i = (bound + stride - 1) / stride - 1;
+        return std::min<uint64_t>(i, seg.count - 1);
+    };
+
+    // Install the surviving tail: a cold set fills ways 0, 1, ... in
+    // arrival order and then replaces round-robin (LRU == oldest
+    // arrival), so the j-th arrival into a set lives in way
+    // j mod assoc; only the last min(count, assoc) arrivals survive.
+    const uint8_t install_flags =
+        static_cast<uint8_t>(kValid | (seg.write ? kDirty : 0));
+    uint64_t touched = std::min(sh.period, sh.distinct);
+    for (uint64_t r = 0; r < touched; ++r) {
+        uint64_t cnt = (sh.distinct - 1 - r) / sh.period + 1;
+        uint64_t surv = std::min<uint64_t>(cnt, assoc);
+        uint64_t set = (sh.firstLine + r * sh.q) % sets;
+        std::size_t base = static_cast<std::size_t>(set) * assoc;
+        for (uint64_t j = 0; j < surv; ++j) {
+            uint64_t arrival = cnt - 1 - j;
+            uint64_t t = r + arrival * sh.period;
+            uint64_t line_addr = sh.firstLine + t * sh.q;
+            std::size_t slot = base + arrival % assoc;
+            tags[slot] = line_addr / sets;
+            lastUse[slot] = clock0 + last_access(t) + 1;
+            flags[slot] = install_flags;
+        }
+        setOcc[set] += static_cast<uint32_t>(surv);
+        validLines += surv;
+    }
+}
+
+CacheSetState
+CacheSim::snapshotState() const
+{
+    CacheSetState st;
+    st.sets = sets;
+    st.assoc = assoc;
+    st.lineBytes = lineBytes;
+    st.tags = tags;
+    st.lastUse = lastUse;
+    st.flags = flags;
+    st.useClock = useClock;
+    st.stats = stats_;
+    return st;
+}
+
+void
+CacheSim::restoreState(const CacheSetState &state)
+{
+    panic_if(state.sets != sets || state.assoc != assoc ||
+                 state.lineBytes != lineBytes,
+             "restoreState: geometry mismatch (%llu sets x %u ways x "
+             "%u B vs %llu x %u x %u)",
+             static_cast<unsigned long long>(state.sets), state.assoc,
+             state.lineBytes, static_cast<unsigned long long>(sets),
+             assoc, lineBytes);
+    panic_if(state.tags.size() != tags.size() ||
+                 state.lastUse.size() != lastUse.size() ||
+                 state.flags.size() != flags.size(),
+             "restoreState: corrupt state (%zu lines vs %zu)",
+             state.flags.size(), flags.size());
+    tags = state.tags;
+    lastUse = state.lastUse;
+    flags = state.flags;
+    useClock = state.useClock;
+    stats_ = state.stats;
+
+    // Rebuild the occupancy counters from the restored valid bits --
+    // they are derived state and must never drift from it.
+    setOcc.assign(sets, 0);
+    validLines = 0;
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+        if (flags[i] & kValid) {
+            ++setOcc[i / assoc];
+            ++validLines;
+        }
+    }
+}
+
+void
 CacheSim::reset()
 {
     tags.assign(tags.size(), 0);
     lastUse.assign(lastUse.size(), 0);
     flags.assign(flags.size(), 0);
+    setOcc.assign(sets, 0);
+    validLines = 0;
     useClock = 0;
     stats_ = CacheStats{};
 }

@@ -8,9 +8,15 @@
  * valid/dirty flags live in separate flat arrays indexed by
  * set * assoc + way, so the batched replay path streams through
  * contiguous memory instead of hopping across per-line structs.
- * The scalar access() is the reference oracle; accessBlock() is the
- * batched replay path and produces bit-identical statistics and
- * cache state.
+ *
+ * Three replay paths produce bit-identical statistics and cache
+ * state: the scalar access() reference oracle, the batched
+ * accessBlock() scan over a materialized trace, and the
+ * segment-descriptor path -- accessSegment() replays a stride run at
+ * line-run granularity (one probe per distinct line instead of one
+ * per access) and applyColdStream() accounts a whole run in closed
+ * form when every set it touches is empty (tracked by the per-set
+ * occupancy counters that carry across segments).
  */
 
 #ifndef SEQPOINT_SIM_CACHE_SIM_HH
@@ -38,6 +44,51 @@ struct CacheStats {
 
     /** Field-wise equality (used by the batched-vs-scalar tests). */
     bool operator==(const CacheStats &other) const = default;
+};
+
+/**
+ * One segment descriptor: `count` accesses at
+ * `firstAddr + i * stride` (i = 0..count-1), all with the same
+ * read/write direction. The compact unit of the segment-descriptor
+ * stream representation (access_gen.hh): a stride run, a repeated
+ * address (stride 0), or a lone access (count 1).
+ */
+struct SegDesc {
+    uint64_t firstAddr = 0; ///< Address of the first access.
+    int64_t stride = 0;     ///< Signed byte stride between accesses.
+    uint64_t count = 0;     ///< Number of accesses.
+    bool write = false;     ///< Uniform access direction.
+
+    /** @return Address of access i (i < count). */
+    uint64_t addr(uint64_t i) const
+    {
+        return firstAddr +
+            static_cast<uint64_t>(stride) * i; // wraps consistently
+    }
+
+    /** Field-wise equality. */
+    bool operator==(const SegDesc &other) const = default;
+};
+
+/**
+ * Frozen copy of a cache's full mutable state -- line arrays, use
+ * clock and statistics. Snapshot/restore lets callers replay several
+ * engines (or several continuations) from one warm starting point
+ * without rebuilding it: snapshot once, restore before each run.
+ */
+struct CacheSetState {
+    // Geometry the state was captured on; restoreState() refuses a
+    // cache whose geometry differs (tags/set mappings would be
+    // silently misinterpreted otherwise).
+    uint64_t sets = 0;      ///< Number of sets.
+    unsigned assoc = 0;     ///< Ways per set.
+    unsigned lineBytes = 0; ///< Line size.
+
+    std::vector<uint64_t> tags;    ///< Per-way tags.
+    std::vector<uint64_t> lastUse; ///< Per-way LRU clocks.
+    std::vector<uint8_t> flags;    ///< Per-way valid/dirty bits.
+    uint64_t useClock = 0;         ///< Global LRU clock.
+    CacheStats stats;              ///< Statistics at snapshot time.
 };
 
 /**
@@ -81,6 +132,61 @@ class CacheSim
     void accessBlock(const AccessTrace &trace, std::size_t begin,
                      std::size_t end);
 
+    /**
+     * Replay one segment descriptor at line-run granularity.
+     *
+     * Within a stride run consecutive accesses to the same line are
+     * consecutive in time (addresses are monotone), so each distinct
+     * line costs one probe and its remaining accesses are accounted
+     * arithmetically as guaranteed hits. Bit-identical in statistics
+     * and state to access() per expanded entry, for any stride
+     * (positive, negative, zero, line-straddling).
+     *
+     * @param seg Segment to replay.
+     */
+    void accessSegment(const SegDesc &seg);
+
+    /**
+     * Account an entire streaming segment in closed form.
+     *
+     * Requires analyticStreamApplicable(seg, lineSize()) and
+     * segmentSetsCold(seg): line addresses advance by a constant
+     * non-negative step and every set the run touches is empty, so
+     * hits, misses, evictions and writebacks follow from arithmetic
+     * (cache_model.hh) and only the surviving tail of the stream --
+     * at most assoc lines per touched set -- is installed. O(min(
+     * distinct lines, cache lines)) instead of O(accesses);
+     * bit-identical in statistics and state to the scalar oracle.
+     *
+     * @param seg Applicable segment (panics otherwise).
+     */
+    void applyColdStream(const SegDesc &seg);
+
+    /**
+     * Whether every set `seg` touches is empty -- the piecewise
+     * engine's applicability test for applyColdStream(), answered
+     * from the per-set occupancy counters in O(touched sets).
+     *
+     * @param seg Candidate segment (must satisfy
+     *            analyticStreamApplicable()).
+     */
+    bool segmentSetsCold(const SegDesc &seg) const;
+
+    /** @return True when no line is resident (freshly reset). */
+    bool coldCache() const { return validLines == 0; }
+
+    /** @return Snapshot of the full mutable state. */
+    CacheSetState snapshotState() const;
+
+    /**
+     * Restore a state captured by snapshotState() on a cache of the
+     * same geometry (panics on mismatch). Occupancy counters are
+     * rebuilt from the restored valid flags.
+     *
+     * @param state Snapshot to adopt.
+     */
+    void restoreState(const CacheSetState &state);
+
     /** Reset contents and statistics. */
     void reset();
 
@@ -111,11 +217,23 @@ class CacheSim
     std::vector<uint64_t> lastUse; ///< 0 for invalid lines.
     std::vector<uint8_t> flags;    ///< Bit 0: valid, bit 1: dirty.
 
+    // Per-set occupancy (valid lines per set) and its total. Carried
+    // across segments so the piecewise engine can prove a run's sets
+    // cold without probing tags.
+    std::vector<uint32_t> setOcc;
+    uint64_t validLines = 0;
+
     static constexpr uint8_t kValid = 1;
     static constexpr uint8_t kDirty = 2;
 
     uint64_t useClock = 0;
     CacheStats stats_;
+
+    /**
+     * Perform `cnt` consecutive accesses that all target `line_addr`:
+     * one probe, the rest guaranteed hits.
+     */
+    void accessLineRun(uint64_t line_addr, uint64_t cnt, bool write);
 };
 
 } // namespace sim

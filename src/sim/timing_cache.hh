@@ -101,6 +101,29 @@ void encodeTimingCacheEntry(ByteWriter &w, const TimingCacheEntry &e);
 TimingCacheEntry decodeTimingCacheEntry(ByteReader &r);
 
 /**
+ * Serialize a whole timing-cache section compactly (snapshot store,
+ * where these entries are ~95% of the bytes). Entries are sorted
+ * into a canonical signature order -- making the section independent
+ * of hash-map iteration order -- and every field is delta-coded
+ * against its neighbour through the packed varint forms
+ * (bytestream.hh): adjacent signatures share most of their fields,
+ * and simulator statistics are overwhelmingly exact integers, so the
+ * section shrinks to a fraction of the fixed-width encoding while
+ * staying bit-exact.
+ *
+ * @param w Destination stream.
+ * @param entries Entries to serialize (order irrelevant).
+ */
+void encodeTimingSection(ByteWriter &w,
+                         const std::vector<TimingCacheEntry> &entries);
+
+/**
+ * Decode a section written by encodeTimingSection(). Entries come
+ * back in the canonical order; any structural problem is fatal.
+ */
+std::vector<TimingCacheEntry> decodeTimingSection(ByteReader &r);
+
+/**
  * Signature -> KernelTiming memo for one device configuration.
  *
  * Thread-safe: lookups from concurrent profiling tasks serialise on an

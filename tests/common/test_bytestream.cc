@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the byte-stream varint and packed-double codecs that the
+ * compact snapshot timing section is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bytestream.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues)
+{
+    const uint64_t values[] = {
+        0, 1, 127, 128, 129, 16383, 16384, 1u << 20,
+        (1ull << 35) - 1, 1ull << 63,
+        std::numeric_limits<uint64_t>::max(),
+    };
+    ByteWriter w;
+    for (uint64_t v : values)
+        w.vu64(v);
+    // One byte for values below 128, never more than ten.
+    EXPECT_LE(w.size(), 10u * std::size(values));
+
+    ByteReader r(w.data(), "varint");
+    for (uint64_t v : values)
+        EXPECT_EQ(r.vu64(), v);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Varint, SmallValuesAreOneByte)
+{
+    ByteWriter w;
+    w.vu64(0);
+    w.vu64(127);
+    EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Varint, ZigzagRoundTripsSignedValues)
+{
+    const int64_t values[] = {
+        0, 1, -1, 63, -64, 64, -65,
+        std::numeric_limits<int64_t>::max(),
+        std::numeric_limits<int64_t>::min(),
+    };
+    ByteWriter w;
+    for (int64_t v : values)
+        w.vi64(v);
+    ByteReader r(w.data(), "zigzag");
+    for (int64_t v : values)
+        EXPECT_EQ(r.vi64(), v);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(VarintDeathTest, RejectsTruncationAndOverflow)
+{
+    // Truncated: a continuation bit with nothing after it.
+    EXPECT_DEATH(
+        {
+            ByteReader r(std::string_view("\x80", 1), "trunc");
+            (void)r.vu64();
+        },
+        "truncated");
+
+    // Overlong: eleven continuation bytes.
+    std::string overlong(10, '\x80');
+    overlong.push_back('\x01');
+    EXPECT_DEATH(
+        {
+            ByteReader r(overlong, "overlong");
+            (void)r.vu64();
+        },
+        "varint");
+}
+
+TEST(PackedDouble, RoundTripsAllForms)
+{
+    const double values[] = {
+        0.0, 1.0, -1.0, 42.0, -9007199254740992.0,
+        9007199254740992.0, 0.5, 3.14159, -0.0, 1e300,
+        std::numeric_limits<double>::infinity(),
+    };
+    ByteWriter w;
+    double prev = 0.0;
+    for (double v : values) {
+        w.f64Packed(v, prev);
+        prev = v;
+    }
+    ByteReader r(w.data(), "packed");
+    prev = 0.0;
+    for (double v : values) {
+        double got = r.f64Packed(prev);
+        EXPECT_EQ(std::bit_cast<uint64_t>(got),
+                  std::bit_cast<uint64_t>(v))
+            << v;
+        prev = v;
+    }
+    EXPECT_TRUE(r.done());
+}
+
+TEST(PackedDouble, SameValueIsOneByte)
+{
+    ByteWriter w;
+    w.f64Packed(123.456, 123.456);
+    EXPECT_EQ(w.size(), 1u);
+
+    // -0.0 vs 0.0 are not bit-identical: must not take the same-tag.
+    ByteWriter w2;
+    w2.f64Packed(-0.0, 0.0);
+    ByteReader r(w2.data(), "negzero");
+    EXPECT_TRUE(std::signbit(r.f64Packed(0.0)));
+}
+
+TEST(PackedDouble, IntegralDeltasStaySmall)
+{
+    // Adjacent large integral values: 2 bytes (tag + varint delta),
+    // not 9.
+    ByteWriter w;
+    w.f64Packed(1048640.0, 1048576.0);
+    EXPECT_LE(w.size(), 3u);
+    ByteReader r(w.data(), "delta");
+    EXPECT_EQ(r.f64Packed(1048576.0), 1048640.0);
+}
+
+TEST(PackedDoubleDeathTest, RejectsUnknownTag)
+{
+    EXPECT_DEATH(
+        {
+            ByteReader r(std::string_view("\x07", 1), "badtag");
+            (void)r.f64Packed(0.0);
+        },
+        "packed-double tag");
+}
+
+} // anonymous namespace
+} // namespace seqpoint

@@ -116,6 +116,29 @@ TEST(ExperimentScheduler, MapCellsCustomEvaluation)
     EXPECT_GT(times[1], times[0]);
 }
 
+TEST(ExperimentScheduler, CellTimingsCoverEveryCellWithoutSkew)
+{
+    // The per-cell wall-time breakdown indexes like the results,
+    // covers setup + eval consistently, and never perturbs them.
+    auto workloads = threeWorkloads();
+    auto configs = fourConfigs();
+
+    std::vector<CellTiming> timings;
+    auto timed = ExperimentScheduler(4).epochSweep(workloads, configs,
+                                                   {}, &timings);
+    auto plain = ExperimentScheduler(4).epochSweep(workloads, configs);
+    expectCellsIdentical(timed, plain);
+
+    ASSERT_EQ(timings.size(), timed.size());
+    for (size_t i = 0; i < timings.size(); ++i) {
+        EXPECT_GT(timings[i].totalSec, 0.0) << "cell " << i;
+        EXPECT_GE(timings[i].setupSec, 0.0) << "cell " << i;
+        EXPECT_GE(timings[i].totalSec, timings[i].setupSec)
+            << "cell " << i;
+        EXPECT_GE(timings[i].evalSec(), 0.0) << "cell " << i;
+    }
+}
+
 TEST(ExperimentScheduler, EmptyGridIsEmptyResult)
 {
     ExperimentScheduler sched(4);

@@ -266,6 +266,140 @@ TEST(SnapshotRegistry, SingleFlightBuildsOnce)
     EXPECT_EQ(reg.stats().memoryHits, 3u);
 }
 
+/**
+ * A minimal synthetic snapshot (empty caches/log/selections) whose
+ * identity is just a workload name -- enough to exercise the store's
+ * file lifecycle without paying real cold starts.
+ */
+std::shared_ptr<const ModelSnapshot>
+tinySnapshot(const std::string &name)
+{
+    auto snap = std::make_shared<ModelSnapshot>();
+    snap->workload = name;
+    snap->config = sim::GpuConfig::config1();
+    snap->dataset = "synthetic";
+    snap->batchSize = 8;
+    snap->policy = data::BatchPolicy::Shuffled;
+    snap->seed = 1;
+    snap->evalCostMultiplier = 1.0;
+    snap->opts = Experiment::defaultOptions();
+    return snap;
+}
+
+/** Acquire a tiny snapshot under its own key. */
+std::shared_ptr<const ModelSnapshot>
+putTiny(SnapshotRegistry &reg, const std::string &name)
+{
+    auto snap = tinySnapshot(name);
+    return reg.acquire(snapshotKeyOf(*snap), [&] { return snap; });
+}
+
+/** Store path of a tiny snapshot's file. */
+std::string
+tinyPath(const std::string &dir, const std::string &name)
+{
+    return (fs::path(dir) / snapshotKeyOf(*tinySnapshot(name))
+                                .fileName())
+        .string();
+}
+
+/** Age a store file to a fixed point `hours_ago`. */
+void
+ageFile(const std::string &path, int hours_ago)
+{
+    fs::last_write_time(path,
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(hours_ago));
+}
+
+TEST(SnapshotRegistryEviction, CapsStoreLruByMtime)
+{
+    std::string dir = tmpPath("store_evict");
+    fs::remove_all(dir);
+
+    // One file's size, to pick a cap that holds two files.
+    uint64_t one;
+    {
+        SnapshotRegistry sizing(dir);
+        putTiny(sizing, "wl-a");
+        one = fs::file_size(tinyPath(dir, "wl-a"));
+        ASSERT_GT(one, 0u);
+    }
+    fs::remove_all(dir);
+
+    SnapshotRegistry reg(dir, 2 * one + one / 2);
+    putTiny(reg, "wl-a");
+    putTiny(reg, "wl-b");
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-a")));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-b")));
+    EXPECT_EQ(reg.stats().storeEvictions, 0u);
+
+    // Make "a" unambiguously the LRU file, then push past the cap:
+    // "a" is evicted, the newer files survive.
+    ageFile(tinyPath(dir, "wl-a"), 48);
+    putTiny(reg, "wl-c");
+    EXPECT_FALSE(fs::exists(tinyPath(dir, "wl-a")));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-b")));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-c")));
+    EXPECT_EQ(reg.stats().storeEvictions, 1u);
+
+    // The evicted key is still served from the in-process cache
+    // (eviction only trims the disk copy).
+    EXPECT_TRUE(putTiny(reg, "wl-a") != nullptr);
+    EXPECT_EQ(reg.stats().builds, 3u);
+    EXPECT_EQ(reg.stats().memoryHits, 1u);
+}
+
+TEST(SnapshotRegistryEviction, NeverEvictsTheFileJustWritten)
+{
+    std::string dir = tmpPath("store_evict_tiny_cap");
+    fs::remove_all(dir);
+
+    // A cap below a single file degrades to keep-latest-only.
+    SnapshotRegistry reg(dir, 1);
+    putTiny(reg, "wl-a");
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-a")));
+    EXPECT_EQ(reg.stats().storeEvictions, 0u);
+
+    ageFile(tinyPath(dir, "wl-a"), 48);
+    putTiny(reg, "wl-b");
+    EXPECT_FALSE(fs::exists(tinyPath(dir, "wl-a")));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-b")));
+    EXPECT_EQ(reg.stats().storeEvictions, 1u);
+}
+
+TEST(SnapshotRegistryEviction, DiskHitRefreshesRecency)
+{
+    std::string dir = tmpPath("store_evict_touch");
+    fs::remove_all(dir);
+    {
+        SnapshotRegistry writer(dir);
+        putTiny(writer, "wl-a");
+    }
+    ageFile(tinyPath(dir, "wl-a"), 48);
+    auto stale = fs::last_write_time(tinyPath(dir, "wl-a"));
+
+    // A fresh registry takes the disk hit and must bump the mtime so
+    // a capped store ages by use, not by creation.
+    SnapshotRegistry reader(dir);
+    auto snap = tinySnapshot("wl-a");
+    EXPECT_TRUE(reader.cached(snapshotKeyOf(*snap)) != nullptr);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    EXPECT_GT(fs::last_write_time(tinyPath(dir, "wl-a")), stale);
+}
+
+TEST(SnapshotRegistryEviction, UncappedStoreKeepsEverything)
+{
+    std::string dir = tmpPath("store_evict_uncapped");
+    fs::remove_all(dir);
+    SnapshotRegistry reg(dir); // cap 0 = unbounded
+    for (const char *name : {"wl-a", "wl-b", "wl-c", "wl-d"})
+        putTiny(reg, name);
+    for (const char *name : {"wl-a", "wl-b", "wl-c", "wl-d"})
+        EXPECT_TRUE(fs::exists(tinyPath(dir, name))) << name;
+    EXPECT_EQ(reg.stats().storeEvictions, 0u);
+}
+
 TEST(SnapshotRegistryDeathTest, RejectsForeignFileUnderKey)
 {
     // Plant a DS2 snapshot at the file name GNMT's key hashes to --

@@ -135,7 +135,8 @@ TEST(CacheModelValidation, BlockedGemmReusesInLargeCache)
 {
     // A 256x256x256 GEMM walked in 64-tiles against a cache large
     // enough for the panels shows substantial reuse; a tiny cache
-    // shows much less.
+    // keeps only the intra-line spatial hits of the element-granular
+    // panel-row walks and misses several times more often.
     CacheSim big(mib(4), 16, 64);
     double hit_big = measureHitRate(big, [](const AccessSink &sink) {
         genBlockedGemm(256, 256, 256, 64, sink);
@@ -146,7 +147,8 @@ TEST(CacheModelValidation, BlockedGemmReusesInLargeCache)
         genBlockedGemm(256, 256, 256, 64, sink);
     });
 
-    EXPECT_GT(hit_big, hit_small + 0.2);
+    EXPECT_GT(hit_big, hit_small);
+    EXPECT_GT(1.0 - hit_small, 2.0 * (1.0 - hit_big));
 }
 
 } // anonymous namespace

@@ -130,30 +130,31 @@ TEST(StrideAnalytic, DetectsStreamingTraces)
 {
     AccessTrace trace;
     genStreaming(kib(4), 16, trace.sink());
-    StrideSegment seg = detectStrideSegment(trace);
-    ASSERT_TRUE(seg.uniform);
+    SegmentList segs = detectSegments(trace);
+    ASSERT_EQ(segs.size(), 1u);
+    const SegDesc &seg = segs.segments()[0];
     EXPECT_EQ(seg.firstAddr, 0u);
-    EXPECT_EQ(seg.stride, 16u);
+    EXPECT_EQ(seg.stride, 16);
     EXPECT_EQ(seg.count, trace.size());
     EXPECT_FALSE(seg.write);
 }
 
-TEST(StrideAnalytic, RejectsNonStreamingTraces)
+TEST(StrideAnalytic, NonStreamingTracesSplitIntoSegments)
 {
     AccessTrace gemm;
     genBlockedGemm(32, 32, 32, 16, gemm.sink());
-    EXPECT_FALSE(detectStrideSegment(gemm).uniform);
+    EXPECT_GT(detectSegments(gemm).size(), 1u);
 
     AccessTrace hotcold;
     Rng rng(3, 0xbeef);
     genHotCold(200, kib(4), kib(64), 0.5, rng, hotcold.sink());
-    EXPECT_FALSE(detectStrideSegment(hotcold).uniform);
+    EXPECT_GT(detectSegments(hotcold).size(), 1u);
 
     AccessTrace mixed_dir;
     mixed_dir.add(0, false);
     mixed_dir.add(64, true);
     mixed_dir.add(128, false);
-    EXPECT_FALSE(detectStrideSegment(mixed_dir).uniform);
+    EXPECT_EQ(detectSegments(mixed_dir).size(), 3u);
 }
 
 TEST(StrideAnalytic, ClosedFormMatchesOracleWhereApplicable)
@@ -175,8 +176,9 @@ TEST(StrideAnalytic, ClosedFormMatchesOracleWhereApplicable)
                 CacheSim oracle(kib(16), g.assoc, g.lineBytes);
                 CacheStats want = scalarReplay(oracle, trace);
 
-                StrideSegment seg = detectStrideSegment(trace);
-                ASSERT_TRUE(seg.uniform);
+                SegmentList segs = detectSegments(trace);
+                ASSERT_EQ(segs.size(), 1u);
+                const SegDesc &seg = segs.segments()[0];
                 if (analyticStreamApplicable(seg, g.lineBytes)) {
                     CacheStats got = analyticStreamStats(
                         seg, oracle.numSets(), g.assoc, g.lineBytes);
@@ -208,7 +210,9 @@ TEST(StrideAnalytic, FitsInCacheStreamHasNoEvictions)
     genStreaming(kib(8), 32, trace.sink());
 
     CacheSim c(kib(16), 4, 64);
-    StrideSegment seg = detectStrideSegment(trace);
+    SegmentList segs = detectSegments(trace);
+    ASSERT_EQ(segs.size(), 1u);
+    const SegDesc &seg = segs.segments()[0];
     ASSERT_TRUE(analyticStreamApplicable(seg, 64));
     CacheStats s = analyticStreamStats(seg, c.numSets(), 4, 64);
     EXPECT_EQ(s.misses, kib(8) / 64);

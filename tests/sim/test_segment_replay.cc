@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the segment-descriptor stream representation and the
+ * piecewise-analytic cache replay engine: the geometry x generator
+ * oracle-equivalence matrix (scalar access() vs the segment engine,
+ * full CacheStats EXPECT_EQ including final-state probes),
+ * detectSegments() edge cases, generator/descriptor equivalence, and
+ * the CacheSim set-state snapshot/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "sim/access_gen.hh"
+#include "sim/cache_model.hh"
+#include "sim/cache_sim.hh"
+
+namespace seqpoint {
+namespace sim {
+namespace {
+
+/** Scalar oracle: one access() call per trace entry. */
+CacheStats
+scalarReplay(CacheSim &cache, const AccessTrace &trace)
+{
+    cache.reset();
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        cache.access(trace.addr(i), trace.isWrite(i));
+    return cache.stats();
+}
+
+/** Continue the oracle on the cache's current state. */
+void
+scalarResume(CacheSim &cache, const AccessTrace &trace)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        cache.access(trace.addr(i), trace.isWrite(i));
+}
+
+struct Geometry {
+    unsigned assoc;
+    unsigned lineBytes;
+};
+
+std::vector<Geometry>
+geometries()
+{
+    std::vector<Geometry> gs;
+    for (unsigned assoc : {1u, 4u, 16u})
+        for (unsigned line : {32u, 64u, 128u})
+            gs.push_back({assoc, line});
+    return gs;
+}
+
+struct NamedStream {
+    const char *name;
+    SegmentList segs;
+};
+
+std::vector<NamedStream>
+generatorStreams()
+{
+    std::vector<NamedStream> streams;
+    streams.push_back(
+        {"genStreaming", genStreamingSegments(kib(96), 16)});
+    streams.push_back(
+        {"genBlockedGemm", genBlockedGemmSegments(96, 80, 64, 32)});
+    Rng rng(7, 0xcafe);
+    streams.push_back({"genHotCold",
+                       genHotColdSegments(5000, kib(4), kib(256), 0.8,
+                                          rng)});
+    return streams;
+}
+
+/**
+ * The full-state equivalence check: identical statistics after the
+ * replay AND after a second replay of the same stream on the warm
+ * state -- the second pass hits exactly where the oracle's state
+ * says it must, so any drift in tags, LRU order or dirty bits shows
+ * up as a stats mismatch.
+ */
+TEST(SegmentReplay, MatchesScalarAcrossGeometryGeneratorMatrix)
+{
+    for (const NamedStream &ns : generatorStreams()) {
+        AccessTrace trace = ns.segs.materialize();
+        for (const Geometry &g : geometries()) {
+            CacheSim oracle(kib(16), g.assoc, g.lineBytes);
+            CacheSim engine(kib(16), g.assoc, g.lineBytes);
+
+            CacheStats want = scalarReplay(oracle, trace);
+            CacheStats got = replaySegments(engine, ns.segs);
+            EXPECT_EQ(got, want)
+                << ns.name << " assoc " << g.assoc << " line "
+                << g.lineBytes;
+
+            scalarResume(oracle, trace);
+            replaySegmentsResume(engine, ns.segs);
+            EXPECT_EQ(engine.stats(), oracle.stats())
+                << ns.name << " (warm pass) assoc " << g.assoc
+                << " line " << g.lineBytes;
+        }
+    }
+}
+
+TEST(SegmentReplay, GeneratorsEmitExactlyTheSinkStreams)
+{
+    // The segment generators are the source of truth and the sink
+    // generators expand them, so equivalence is structural -- but
+    // pin it anyway: a regression here would silently change every
+    // hit-rate measurement.
+    SegmentList gemm = genBlockedGemmSegments(96, 80, 64, 32);
+    AccessTrace via_sink;
+    genBlockedGemm(96, 80, 64, 32, via_sink.sink());
+    AccessTrace expanded = gemm.materialize();
+    ASSERT_EQ(expanded.size(), via_sink.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        ASSERT_EQ(expanded.addr(i), via_sink.addr(i)) << i;
+        ASSERT_EQ(expanded.isWrite(i), via_sink.isWrite(i)) << i;
+    }
+
+    // Hot/cold consumes the RNG identically in both forms.
+    Rng rng_a(11, 0xfeed), rng_b(11, 0xfeed);
+    SegmentList hot = genHotColdSegments(800, kib(4), kib(64), 0.6,
+                                         rng_a);
+    AccessTrace hot_sink;
+    genHotCold(800, kib(4), kib(64), 0.6, rng_b, hot_sink.sink());
+    AccessTrace hot_exp = hot.materialize();
+    ASSERT_EQ(hot_exp.size(), hot_sink.size());
+    for (std::size_t i = 0; i < hot_exp.size(); ++i)
+        ASSERT_EQ(hot_exp.addr(i), hot_sink.addr(i)) << i;
+}
+
+TEST(SegmentReplay, DetectSegmentsRoundTripsArbitraryTraces)
+{
+    AccessTrace trace;
+    Rng rng(3, 0xabcd);
+    genHotCold(500, kib(4), kib(64), 0.5, rng, trace.sink());
+    genBlockedGemm(32, 32, 32, 16, trace.sink());
+    trace.add(100, true);
+    trace.add(36, false); // direction + stride flip
+
+    SegmentList segs = detectSegments(trace);
+    EXPECT_EQ(segs.accesses(), trace.size());
+    AccessTrace back = segs.materialize();
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(back.addr(i), trace.addr(i)) << i;
+        ASSERT_EQ(back.isWrite(i), trace.isWrite(i)) << i;
+    }
+}
+
+TEST(SegmentReplay, DetectSegmentsEdgeCases)
+{
+    // Zero-length trace.
+    EXPECT_TRUE(detectSegments(AccessTrace{}).empty());
+
+    // Single access: one count-1 run.
+    AccessTrace one;
+    one.add(0x1000, true);
+    SegmentList single = detectSegments(one);
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single.segments()[0],
+              (SegDesc{0x1000, 0, 1, true}));
+
+    // Direction flip splits runs even on a perfect stride.
+    AccessTrace flip;
+    flip.add(0, false);
+    flip.add(64, false);
+    flip.add(128, true);
+    flip.add(192, true);
+    SegmentList flipped = detectSegments(flip);
+    ASSERT_EQ(flipped.size(), 2u);
+    EXPECT_EQ(flipped.segments()[0], (SegDesc{0, 64, 2, false}));
+    EXPECT_EQ(flipped.segments()[1], (SegDesc{128, 64, 2, true}));
+
+    // Descending and zero strides fold into single runs.
+    AccessTrace desc;
+    for (int a = 512; a >= 0; a -= 64)
+        desc.add(static_cast<uint64_t>(a), false);
+    SegmentList descending = detectSegments(desc);
+    ASSERT_EQ(descending.size(), 1u);
+    EXPECT_EQ(descending.segments()[0].stride, -64);
+
+    AccessTrace same;
+    for (int i = 0; i < 5; ++i)
+        same.add(0x40, false);
+    SegmentList repeated = detectSegments(same);
+    ASSERT_EQ(repeated.size(), 1u);
+    EXPECT_EQ(repeated.segments()[0], (SegDesc{0x40, 0, 5, false}));
+}
+
+TEST(SegmentReplay, EdgeShapesMatchOracleEverywhere)
+{
+    // Line-straddling strides (48, 96), descending walks, stride-0
+    // pounding, single accesses, and a re-walk of an earlier region
+    // (panel reuse) -- each shape through every geometry.
+    std::vector<NamedStream> shapes;
+
+    SegmentList straddle;
+    straddle.addRun(8, 48, 700, false);
+    straddle.addRun(8, 48, 700, true); // dirty the same footprint
+    shapes.push_back({"straddle48", straddle});
+
+    SegmentList wide;
+    wide.addRun(0, 96, 900, true);
+    shapes.push_back({"straddle96", wide});
+
+    SegmentList down;
+    down.addRun(kib(64), -16, 3000, false);
+    shapes.push_back({"descending", down});
+
+    SegmentList pound;
+    pound.addRun(0x1234, 0, 64, true);
+    pound.addRun(0x1234 + 4096, 0, 1, false);
+    shapes.push_back({"stride0", pound});
+
+    SegmentList rewalk;
+    rewalk.addRun(0, 16, 4096, false);   // install 64 KiB
+    rewalk.addRun(0, 16, 4096, false);   // re-walk it warm
+    rewalk.addRun(kib(256), 64, 64, true);
+    rewalk.addRun(0, 16, 128, false);    // partial third walk
+    shapes.push_back({"rewalk", rewalk});
+
+    for (const NamedStream &ns : shapes) {
+        AccessTrace trace = ns.segs.materialize();
+        for (const Geometry &g : geometries()) {
+            CacheSim oracle(kib(16), g.assoc, g.lineBytes);
+            CacheSim engine(kib(16), g.assoc, g.lineBytes);
+            CacheStats want = scalarReplay(oracle, trace);
+            EXPECT_EQ(replaySegments(engine, ns.segs), want)
+                << ns.name << " assoc " << g.assoc << " line "
+                << g.lineBytes;
+
+            scalarResume(oracle, trace);
+            replaySegmentsResume(engine, ns.segs);
+            EXPECT_EQ(engine.stats(), oracle.stats())
+                << ns.name << " (warm pass) assoc " << g.assoc
+                << " line " << g.lineBytes;
+        }
+    }
+}
+
+TEST(SegmentReplay, PiecewiseCompositionCarriesState)
+{
+    // Replaying a stream one segment at a time through the resume
+    // entry point must match one full replay: occupancy and LRU
+    // state carry across calls.
+    SegmentList gemm = genBlockedGemmSegments(64, 64, 64, 32);
+    CacheSim whole(kib(8), 4, 64), chunked(kib(8), 4, 64);
+    replaySegments(whole, gemm);
+
+    chunked.reset();
+    for (const SegDesc &seg : gemm.segments()) {
+        SegmentList one;
+        one.addRun(seg);
+        replaySegmentsResume(chunked, one);
+    }
+    EXPECT_EQ(chunked.stats(), whole.stats());
+}
+
+TEST(SegmentReplay, ColdStreamClosedFormLeavesOracleState)
+{
+    // The closed-form account must leave the exact oracle state:
+    // follow a cold stream with a second stream that probes the
+    // survivors (hits), the evicted head (misses) and the LRU order.
+    for (const Geometry &g : geometries()) {
+        for (unsigned stride : {4u, 16u, 256u}) {
+            SegmentList stream;
+            stream.addRun(0, stride, kib(128) / stride, true);
+            // Probe pass: re-walk everything, then stream fresh
+            // lines to force victim selection through the restored
+            // LRU order.
+            stream.addRun(0, stride, kib(128) / stride, false);
+            stream.addRun(mib(1), 64, 1024, false);
+
+            AccessTrace trace = stream.materialize();
+            CacheSim oracle(kib(16), g.assoc, g.lineBytes);
+            CacheSim engine(kib(16), g.assoc, g.lineBytes);
+            CacheStats want = scalarReplay(oracle, trace);
+            EXPECT_EQ(replaySegments(engine, stream), want)
+                << "stride " << stride << " assoc " << g.assoc
+                << " line " << g.lineBytes;
+        }
+    }
+}
+
+TEST(SegmentReplay, MeasureHitRateAgreesWithScalarPath)
+{
+    // The callback entry point now folds into descriptors and runs
+    // the piecewise engine; it must agree with the scalar oracle.
+    CacheSim engine(kib(16), 4, 64), oracle(kib(16), 4, 64);
+    double via_engine = measureHitRate(engine, [](const AccessSink &s) {
+        genBlockedGemm(96, 80, 64, 32, s);
+    });
+
+    AccessTrace trace;
+    genBlockedGemm(96, 80, 64, 32, trace.sink());
+    CacheStats want = scalarReplay(oracle, trace);
+    EXPECT_DOUBLE_EQ(via_engine, want.hitRate());
+
+    CacheSim replayed(kib(16), 4, 64);
+    EXPECT_DOUBLE_EQ(replayHitRate(replayed, trace), want.hitRate());
+}
+
+TEST(SegmentReplay, SnapshotRestoreRoundTrip)
+{
+    SegmentList gemm = genBlockedGemmSegments(64, 64, 64, 32);
+    SegmentList tail = genStreamingSegments(kib(32), 16);
+
+    CacheSim a(kib(8), 4, 64), b(kib(8), 4, 64);
+    replaySegments(a, gemm);
+    CacheSetState warm = a.snapshotState();
+    EXPECT_EQ(warm.stats, a.stats());
+
+    // Restoring onto another instance reproduces the continuation.
+    b.restoreState(warm);
+    replaySegmentsResume(a, tail);
+    replaySegmentsResume(b, tail);
+    EXPECT_EQ(b.stats(), a.stats());
+
+    // Restoring back rewinds: the same continuation replays twice
+    // with identical results (the bench's engine-comparison idiom).
+    a.restoreState(warm);
+    replaySegmentsResume(a, tail);
+    EXPECT_EQ(a.stats(), b.stats());
+}
+
+TEST(SegmentReplayDeathTest, RestoreRejectsGeometryMismatch)
+{
+    CacheSim a(kib(8), 4, 64), b(kib(16), 4, 64);
+    CacheSetState st = a.snapshotState();
+    EXPECT_DEATH(b.restoreState(st), "geometry mismatch");
+
+    // Same total line count, different shape: 32x4 vs 16x8 ways both
+    // hold 128 lines, but tags/set mappings differ -- must still be
+    // rejected, not silently misinterpreted.
+    CacheSim c(8192, 4, 64), d(8192, 8, 64);
+    CacheSetState cs = c.snapshotState();
+    EXPECT_DEATH(d.restoreState(cs), "geometry mismatch");
+}
+
+TEST(SegmentReplay, EmptyListIsANoOp)
+{
+    CacheSim c(kib(8), 4, 64);
+    EXPECT_EQ(replaySegments(c, SegmentList{}), CacheStats{});
+    EXPECT_TRUE(c.coldCache());
+}
+
+TEST(SegmentReplay, CountZeroSegmentIsANoOp)
+{
+    // A default-constructed SegDesc has count 0; every stride shape
+    // of it must leave statistics untouched (no phantom miss, no
+    // hits underflow).
+    CacheSim c(kib(8), 4, 64);
+    c.accessSegment(SegDesc{0, 0, 0, false});
+    c.accessSegment(SegDesc{0, 16, 0, false});  // dividing sub-line
+    c.accessSegment(SegDesc{0, 48, 0, true});   // straddling
+    c.accessSegment(SegDesc{64, -16, 0, false}); // negative
+    EXPECT_EQ(c.stats(), CacheStats{});
+    EXPECT_TRUE(c.coldCache());
+}
+
+TEST(SegmentReplay, FastReplayKeepsBatchedScanForPairRuns)
+{
+    // A random trace folds into count-2 runs under the greedy
+    // decomposer (exactly 2 accesses per segment); replayStatsFast
+    // must keep the batched scan there, and must agree with the
+    // oracle regardless of which path it picks.
+    AccessTrace trace;
+    Rng rng(5, 0x1234);
+    genHotCold(4000, kib(4), kib(256), 0.5, rng, trace.sink());
+    SegmentList segs = detectSegments(trace);
+    ASSERT_LT(trace.size(), 3 * segs.size());
+
+    CacheSim oracle(kib(16), 4, 64), fast(kib(16), 4, 64);
+    EXPECT_EQ(replayStatsFast(fast, trace),
+              scalarReplay(oracle, trace));
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace seqpoint
