@@ -50,6 +50,14 @@
  * must beat the scalar path by >= 5x on the blocked-GEMM
  * measurement.
  *
+ * Part 6 measures fault containment: a registry-backed 2x2 epoch
+ * sweep runs under a deterministic fault storm -- store files
+ * corrupted on disk, a snapshot read failing, a persist dropped, and
+ * two of the four cells throwing on their first attempt -- with a
+ * per-cell retry budget. The sweep must complete, no cell may end
+ * failed, the faulted cells must recompute cold and converge, and
+ * every result must be bit-identical to a clean serial sweep.
+ *
  * Results are written to a JSON report (default BENCH_epoch.json,
  * argv[1] overrides); the process fails if any gate is missed.
  */
@@ -60,10 +68,14 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "harness/scheduler.hh"
@@ -183,6 +195,41 @@ timeEngine(const std::function<sim::CacheStats()> &measure)
         r.stats = measure();
     r.sec = (now() - t0) / reps;
     return r;
+}
+
+/** Flip one payload byte of a snapshot store file in place. */
+bool
+corruptStoreFile(const std::string &path)
+{
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in.good())
+            return false;
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    if (bytes.size() < 32)
+        return false;
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    return out.good();
+}
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
 }
 
 bool
@@ -575,6 +622,116 @@ main(int argc, char **argv)
                 seg_identical ? "yes" : "NO -- BUG");
 
     // ------------------------------------------------------------------
+    // Part 6: fault containment under a deterministic fault storm.
+    // ------------------------------------------------------------------
+    // A 2x2 registry-backed sweep (GNMT + DS2 on configs #1/#2) runs
+    // with half its store files corrupted on disk, one snapshot read
+    // failing, one persist dropped, and cells (0,1) and (1,0) each
+    // throwing on their first attempt. A budget of two retries per
+    // cell plus the registry's quarantine-and-rebuild degradation
+    // must absorb all of it: the sweep completes with no failed
+    // cells, and every result is bit-identical to a clean serial run.
+    std::vector<harness::WorkloadFactory> fc_workloads = {
+        [] { return harness::makeGnmtWorkload(); },
+        [] { return harness::makeDs2Workload(); },
+    };
+    std::vector<sim::GpuConfig> fc_configs = {
+        sim::GpuConfig::config1(), sim::GpuConfig::config2(),
+    };
+
+    auto fc_clean = harness::ExperimentScheduler(1).epochSweep(
+        fc_workloads, fc_configs);
+
+    // Warm a dedicated store so the storm has files to lose.
+    std::filesystem::path fc_store =
+        std::filesystem::temp_directory_path(store_ec) /
+        csprintf("seqpoint_bench_fault_store.%ld",
+                 static_cast<long>(::getpid()));
+    if (store_ec)
+        fc_store = csprintf("bench_fault_store.%ld",
+                            static_cast<long>(::getpid()));
+    std::filesystem::remove_all(fc_store, store_ec);
+    {
+        harness::SnapshotRegistry fc_warm(fc_store.string());
+        (void)harness::ExperimentScheduler(threads).epochSweep(
+            fc_workloads, fc_configs, fc_warm);
+    }
+
+    // Corrupt every other store file (sorted: deterministic choice).
+    std::vector<std::string> fc_files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(fc_store, store_ec)) {
+        if (entry.path().extension() == ".bin")
+            fc_files.push_back(entry.path().string());
+    }
+    std::sort(fc_files.begin(), fc_files.end());
+    size_t fc_corrupted = 0;
+    for (size_t i = 0; i < fc_files.size(); i += 2)
+        fc_corrupted += corruptStoreFile(fc_files[i]);
+
+    auto &fc_inj = FaultInjector::instance();
+    fc_inj.reset();
+    fc_inj.armAt("scheduler.cell", "0/1", {1}, ErrorCode::Timeout);
+    fc_inj.armAt("scheduler.cell", "1/0", {1}, ErrorCode::IoError);
+    fc_inj.armAt("snapshot_io.read", "", {1});
+    fc_inj.armAt("registry.save", "", {1});
+
+    harness::SnapshotRegistry fc_reg(fc_store.string());
+    harness::ExperimentScheduler fc_sched(threads);
+    fc_sched.setCellRetries(2);
+    fc_sched.setRetryBackoff(0.0);
+    std::vector<harness::CellTiming> fc_timings;
+    setQuietLogging(true); // the storm's warnings are expected noise
+    t0 = now();
+    auto fc_storm = fc_sched.epochSweep(fc_workloads, fc_configs,
+                                        fc_reg, &fc_timings);
+    double fc_sec = now() - t0;
+    setQuietLogging(false);
+
+    bool fc_completed =
+        fc_storm.size() == fc_workloads.size() * fc_configs.size();
+    size_t fc_failed = 0, fc_retried = 0;
+    for (const harness::CellTiming &t : fc_timings) {
+        fc_failed += t.outcome.failed;
+        fc_retried += t.outcome.attempts > 1;
+    }
+    bool fc_identical = cellsIdentical(fc_storm, fc_clean);
+    uint64_t fc_quarantines = fc_reg.stats().quarantines;
+    uint64_t fc_cell_fired = fc_inj.fired("scheduler.cell");
+    uint64_t fc_read_fired = fc_inj.fired("snapshot_io.read");
+    uint64_t fc_save_fired = fc_inj.fired("registry.save");
+    fc_inj.reset();
+
+    Table fc_table({"cell", "attempts", "outcome"});
+    for (size_t i = 0; i < fc_storm.size(); ++i) {
+        fc_table.addRow({
+            csprintf("%s/%s", fc_storm[i].workload.c_str(),
+                     fc_storm[i].config.c_str()),
+            csprintf("%u", fc_timings[i].outcome.attempts),
+            fc_timings[i].outcome.failed
+                ? csprintf("FAILED: %s",
+                           fc_timings[i].outcome.error.c_str())
+                : std::string("ok")});
+    }
+    std::printf("%s\n", fc_table.render(csprintf(
+        "Fault containment: 2x2 sweep under a fault storm "
+        "(%zu store file(s) corrupted, %llu cell fault(s), "
+        "%llu read fault(s), %llu dropped persist(s); %.3fs)",
+        fc_corrupted,
+        static_cast<unsigned long long>(fc_cell_fired),
+        static_cast<unsigned long long>(fc_read_fired),
+        static_cast<unsigned long long>(fc_save_fired),
+        fc_sec)).c_str());
+    std::printf("faulted sweep completed with no failed cells: %s\n",
+                fc_completed && fc_failed == 0 ? "yes" : "NO -- BUG");
+    std::printf("faulted sweep bit-identical to clean serial run: %s\n",
+                fc_identical ? "yes" : "NO -- BUG");
+    std::printf("corrupted store files quarantined and rebuilt: %s\n\n",
+                fc_quarantines >= fc_corrupted ? "yes" : "NO -- BUG");
+
+    std::filesystem::remove_all(fc_store, store_ec);
+
+    // ------------------------------------------------------------------
     // JSON report.
     // ------------------------------------------------------------------
     FILE *f = std::fopen(json_path, "w");
@@ -613,13 +770,19 @@ main(int argc, char **argv)
                      "      {\"workload\": \"%s\", \"config\": \"%s\", "
                      "\"serial_sec\": %.6f, \"parallel_sec\": %.6f, "
                      "\"parallel_setup_sec\": %.6f, "
-                     "\"parallel_eval_sec\": %.6f}%s\n",
+                     "\"parallel_eval_sec\": %.6f, "
+                     "\"outcome\": {\"failed\": %s, \"attempts\": %u, "
+                     "\"error\": \"%s\"}}%s\n",
                      parallel_cells[i].workload.c_str(),
                      parallel_cells[i].config.c_str(),
                      serial_times[i].totalSec,
                      parallel_times[i].totalSec,
                      parallel_times[i].setupSec,
                      parallel_times[i].evalSec(),
+                     parallel_times[i].outcome.failed ? "true"
+                                                     : "false",
+                     parallel_times[i].outcome.attempts,
+                     jsonEscape(parallel_times[i].outcome.error).c_str(),
                      i + 1 < parallel_cells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
@@ -677,6 +840,40 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"stream_speedup\": %.2f,\n", sp_stream);
     std::fprintf(f, "    \"bit_identical\": %s\n",
                  seg_identical ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"fault_containment\": {\n");
+    std::fprintf(f, "    \"grid\": \"GNMT+DS2 x config1+config2\",\n");
+    std::fprintf(f, "    \"cell_retries\": 2,\n");
+    std::fprintf(f, "    \"corrupted_files\": %zu,\n", fc_corrupted);
+    std::fprintf(f, "    \"quarantines\": %llu,\n",
+                 static_cast<unsigned long long>(fc_quarantines));
+    std::fprintf(f, "    \"cell_faults_fired\": %llu,\n",
+                 static_cast<unsigned long long>(fc_cell_fired));
+    std::fprintf(f, "    \"read_faults_fired\": %llu,\n",
+                 static_cast<unsigned long long>(fc_read_fired));
+    std::fprintf(f, "    \"dropped_persists\": %llu,\n",
+                 static_cast<unsigned long long>(fc_save_fired));
+    std::fprintf(f, "    \"retried_cells\": %zu,\n", fc_retried);
+    std::fprintf(f, "    \"failed_cells\": %zu,\n", fc_failed);
+    std::fprintf(f, "    \"storm_sec\": %.6f,\n", fc_sec);
+    std::fprintf(f, "    \"completed\": %s,\n",
+                 fc_completed ? "true" : "false");
+    std::fprintf(f, "    \"bit_identical\": %s,\n",
+                 fc_identical ? "true" : "false");
+    std::fprintf(f, "    \"cells\": [\n");
+    for (size_t i = 0; i < fc_storm.size(); ++i) {
+        std::fprintf(f,
+                     "      {\"workload\": \"%s\", \"config\": \"%s\", "
+                     "\"failed\": %s, \"attempts\": %u, "
+                     "\"error\": \"%s\"}%s\n",
+                     fc_storm[i].workload.c_str(),
+                     fc_storm[i].config.c_str(),
+                     fc_timings[i].outcome.failed ? "true" : "false",
+                     fc_timings[i].outcome.attempts,
+                     jsonEscape(fc_timings[i].outcome.error).c_str(),
+                     i + 1 < fc_storm.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -724,6 +921,22 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: segment-replay speedup %.2fx "
                      "(need >= %.1fx), identical=%d\n", sp_seg_scalar,
                      seg_floor, seg_identical);
+        return 1;
+    }
+
+    // Fault-containment contract: the storm-ridden sweep completes
+    // with every cell converged (no failures after retries), its
+    // results bit-identical to the clean serial run, the corrupted
+    // store files quarantined instead of adopted or fatal, and both
+    // injected cell faults actually absorbed by retries.
+    if (!fc_completed || fc_failed != 0 || !fc_identical ||
+        fc_quarantines < fc_corrupted || fc_retried < 2) {
+        std::fprintf(stderr, "FAIL: fault containment: completed=%d, "
+                     "failed_cells=%zu, identical=%d, quarantines=%llu "
+                     "(corrupted %zu), retried_cells=%zu (need >= 2)\n",
+                     fc_completed, fc_failed, fc_identical,
+                     static_cast<unsigned long long>(fc_quarantines),
+                     fc_corrupted, fc_retried);
         return 1;
     }
     return 0;

@@ -58,11 +58,26 @@ parseFigArgs(int argc, char **argv)
                 std::exit(2);
             }
             opts.snapshotCapMb = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--strict-snapshots") == 0) {
+            opts.strictSnapshots = true;
+        } else if (std::strcmp(argv[i], "--cell-retries") == 0 &&
+                   i + 1 < argc) {
+            const char *arg = argv[++i];
+            char *end = nullptr;
+            unsigned long n = std::strtoul(arg, &end, 10);
+            if (end == arg || *end != '\0' || arg[0] == '-' ||
+                n > 100) {
+                std::fprintf(stderr, "--cell-retries: expected a "
+                             "count in [0, 100], got '%s'\n", arg);
+                std::exit(2);
+            }
+            opts.cellRetries = static_cast<unsigned>(n);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--serial] "
                          "[--verify-serial] [--snapshot-dir PATH] "
-                         "[--snapshot-cap-mb N]\n",
+                         "[--snapshot-cap-mb N] [--strict-snapshots] "
+                         "[--cell-retries N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -114,9 +129,11 @@ openRegistry(const FigOptions &opts)
 {
     if (opts.snapshotDir.empty())
         return nullptr;
-    return std::make_unique<harness::SnapshotRegistry>(
+    auto registry = std::make_unique<harness::SnapshotRegistry>(
         opts.snapshotDir,
         static_cast<uint64_t>(opts.snapshotCapMb) << 20);
+    registry->setStrict(opts.strictSnapshots);
+    return registry;
 }
 
 void
@@ -167,9 +184,9 @@ runFigureSweep(const harness::WorkloadFactory &make,
     auto registry = openRegistry(opts);
     return runVerifiedSweep<harness::FigureSweep>(
         opts, "figure",
-        [&] { return harness::runFigureSweepScheduled(make,
-                                                      opts.threads,
-                                                      registry.get()); },
+        [&] { return harness::runFigureSweepScheduled(
+                  make, opts.threads, registry.get(),
+                  opts.cellRetries); },
         [&] { return harness::runFigureSweepSerial(
                   make, opts.serial ? opts.threads : 0); });
 }
@@ -275,7 +292,7 @@ printSensitivityFigure(const harness::WorkloadFactory &make,
             opts, "sensitivity",
             [&] { return harness::runSensitivitySweepScheduled(
                       make, sl_lo, sl_hi, step, opts.threads,
-                      registry.get()); },
+                      registry.get(), opts.cellRetries); },
             [&] { return harness::runSensitivitySweepSerial(
                       make, sl_lo, sl_hi, step,
                       opts.serial ? opts.threads : 0); });

@@ -42,11 +42,18 @@ struct FigOptions {
     unsigned snapshotCapMb = 0; ///< Store size cap in MiB; 0 =
                                 ///< unbounded (LRU-by-mtime
                                 ///< eviction keeps it under cap).
+    bool strictSnapshots = false; ///< A bad store file is fatal
+                                  ///< instead of quarantined +
+                                  ///< rebuilt (CI escape hatch).
+    unsigned cellRetries = 0;  ///< Extra attempts for a failing
+                               ///< scheduler cell before it is
+                               ///< recorded as failed.
 };
 
 /**
  * Parse figure-bench arguments: --threads N, --serial,
- * --verify-serial, --snapshot-dir PATH, --snapshot-cap-mb N.
+ * --verify-serial, --snapshot-dir PATH, --snapshot-cap-mb N,
+ * --strict-snapshots, --cell-retries N.
  * Unknown arguments print usage and exit(2).
  */
 FigOptions parseFigArgs(int argc, char **argv);
@@ -55,7 +62,8 @@ FigOptions parseFigArgs(int argc, char **argv);
  * Open the persistent snapshot registry named by --snapshot-dir
  * (creating the store directory), or null when the flag is unset.
  * The serial pipeline never consults the registry, so --serial runs
- * are unaffected even with a store attached.
+ * are unaffected even with a store attached. --strict-snapshots is
+ * applied to the returned registry.
  */
 std::unique_ptr<harness::SnapshotRegistry>
 openRegistry(const FigOptions &opts);

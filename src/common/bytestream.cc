@@ -10,6 +10,8 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/status.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 
@@ -127,17 +129,28 @@ ByteWriter::str(const std::string &s)
     buf.append(s);
 }
 
-ByteReader::ByteReader(std::string_view data, std::string what)
-    : data_(data), what_(std::move(what))
+ByteReader::ByteReader(std::string_view data, std::string what,
+                       OnError on_error)
+    : data_(data), what_(std::move(what)), onError(on_error)
 {
+}
+
+void
+ByteReader::fail(const std::string &msg) const
+{
+    if (onError == OnError::Fatal)
+        fatal("%s", msg.c_str());
+    throw RecoverableError(Status::error(ErrorCode::Corruption, msg));
 }
 
 void
 ByteReader::need(std::size_t n)
 {
-    fatal_if(n > remaining(),
-             "%s: truncated at byte %zu (%zu byte(s) needed, %zu left)",
-             what_.c_str(), pos, n, remaining());
+    if (n > remaining()) {
+        fail(csprintf(
+            "%s: truncated at byte %zu (%zu byte(s) needed, %zu left)",
+            what_.c_str(), pos, n, remaining()));
+    }
 }
 
 uint8_t
@@ -194,15 +207,17 @@ ByteReader::vu64()
     for (unsigned shift = 0; shift < 70; shift += 7) {
         uint8_t byte = u8();
         uint64_t bits = static_cast<uint64_t>(byte & 0x7f);
-        fatal_if(shift == 63 && bits > 1,
-                 "%s: varint overflows 64 bits at offset %zu",
-                 what_.c_str(), pos - 1);
+        if (shift == 63 && bits > 1) {
+            fail(csprintf("%s: varint overflows 64 bits at offset %zu",
+                          what_.c_str(), pos - 1));
+        }
         v |= bits << shift;
         if (!(byte & 0x80))
             return v;
-        fatal_if(shift == 63,
-                 "%s: varint longer than 10 bytes at offset %zu",
-                 what_.c_str(), pos - 1);
+        if (shift == 63) {
+            fail(csprintf("%s: varint longer than 10 bytes at offset %zu",
+                          what_.c_str(), pos - 1));
+        }
     }
     return v; // unreachable
 }
@@ -229,9 +244,8 @@ ByteReader::f64Packed(double prev)
       case kPackedRaw:
         return f64();
       default:
-        fatal("%s: invalid packed-double tag %u at offset %zu",
-              what_.c_str(), tag, pos - 1);
-        return 0.0;
+        fail(csprintf("%s: invalid packed-double tag %u at offset %zu",
+                      what_.c_str(), tag, pos - 1));
     }
 }
 
@@ -239,8 +253,10 @@ bool
 ByteReader::b()
 {
     uint8_t v = u8();
-    fatal_if(v > 1, "%s: invalid bool byte %u at offset %zu",
-             what_.c_str(), v, pos - 1);
+    if (v > 1) {
+        fail(csprintf("%s: invalid bool byte %u at offset %zu",
+                      what_.c_str(), v, pos - 1));
+    }
     return v != 0;
 }
 

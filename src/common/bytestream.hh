@@ -78,20 +78,32 @@ class ByteWriter
 /**
  * Bounds-checked reader over a byte buffer written by ByteWriter.
  *
- * Every read past the end of the buffer is a fatal error naming the
+ * Every read past the end of the buffer fails loudly naming the
  * artifact (`what`), so a truncated file can never silently decode
- * into a half-seeded object.
+ * into a half-seeded object. The failure mode is selectable: Fatal
+ * (the default, for in-process artifacts whose corruption is a bug)
+ * exits the process; Throw raises RecoverableError(Corruption) so a
+ * containment layer -- the snapshot loader degrading a bad store
+ * file to a cold start -- can catch, quarantine and recompute.
  */
 class ByteReader
 {
   public:
+    /** What a validation failure does (see class comment). */
+    enum class OnError {
+        Fatal, ///< fatal(): exit the process (fail-fast artifacts).
+        Throw, ///< throw RecoverableError(Corruption) (recoverable).
+    };
+
     /**
      * Construct over a buffer.
      *
      * @param data Bytes to decode (must outlive the reader).
      * @param what Artifact name for error messages (e.g. a path).
+     * @param on_error Failure mode for every validation error.
      */
-    ByteReader(std::string_view data, std::string what);
+    ByteReader(std::string_view data, std::string what,
+               OnError on_error = OnError::Fatal);
 
     /** Read one byte. */
     uint8_t u8();
@@ -140,12 +152,23 @@ class ByteReader
     /** @return The artifact name given at construction. */
     const std::string &what() const { return what_; }
 
+    /**
+     * Report a validation failure in this reader's failure mode:
+     * fatal() or throw RecoverableError(Corruption). Exposed so
+     * decoders layered on the reader (snapshot payload validation)
+     * fail the same way the reader itself would.
+     *
+     * @param msg Fully formatted message (should name the artifact).
+     */
+    [[noreturn]] void fail(const std::string &msg) const;
+
   private:
     std::string_view data_;
     std::string what_;
+    OnError onError;
     std::size_t pos = 0;
 
-    /** Fatal unless `n` more bytes are available. */
+    /** fail() unless `n` more bytes are available. */
     void need(std::size_t n);
 };
 

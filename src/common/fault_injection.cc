@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Fault-injector implementation.
+ */
+
+#include "common/fault_injection.hh"
+
+#include <algorithm>
+
+#include "common/strutil.hh"
+
+namespace seqpoint {
+
+namespace {
+
+/** splitmix64: the seeded rules' per-occurrence decision stream. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+FaultInjector::SiteStats &
+FaultInjector::siteStats(const std::string &site)
+{
+    for (auto &entry : sites) {
+        if (entry.first == site)
+            return entry.second;
+    }
+    sites.emplace_back(site, SiteStats{});
+    return sites.back().second;
+}
+
+void
+FaultInjector::armAt(const std::string &site, const std::string &detail,
+                     std::vector<uint64_t> occurrences, ErrorCode code)
+{
+    panic_if(code == ErrorCode::Ok,
+             "FaultInjector::armAt: Ok is not a failure");
+    std::lock_guard<std::mutex> lock(mu);
+    Rule rule;
+    rule.site = site;
+    rule.detail = detail;
+    rule.code = code;
+    rule.occurrences = std::move(occurrences);
+    std::sort(rule.occurrences.begin(), rule.occurrences.end());
+    rules.push_back(std::move(rule));
+    armedRules.store(rules.size(), std::memory_order_release);
+}
+
+void
+FaultInjector::armSeeded(const std::string &site,
+                         const std::string &detail, uint64_t seed,
+                         double rate, uint64_t max_fires, ErrorCode code)
+{
+    panic_if(code == ErrorCode::Ok,
+             "FaultInjector::armSeeded: Ok is not a failure");
+    panic_if(!(rate >= 0.0 && rate <= 1.0),
+             "FaultInjector::armSeeded: rate %f outside [0, 1]", rate);
+    std::lock_guard<std::mutex> lock(mu);
+    Rule rule;
+    rule.site = site;
+    rule.detail = detail;
+    rule.code = code;
+    rule.seeded = true;
+    rule.seed = seed;
+    rule.rate = rate;
+    rule.maxFires = max_fires;
+    rules.push_back(std::move(rule));
+    armedRules.store(rules.size(), std::memory_order_release);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    rules.clear();
+    sites.clear();
+    armedRules.store(0, std::memory_order_release);
+}
+
+uint64_t
+FaultInjector::fired(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &entry : sites) {
+        if (entry.first == site)
+            return entry.second.fired;
+    }
+    return 0;
+}
+
+uint64_t
+FaultInjector::occurrences(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &entry : sites) {
+        if (entry.first == site)
+            return entry.second.occurrences;
+    }
+    return 0;
+}
+
+Status
+FaultInjector::check(const std::string &site, const std::string &detail)
+{
+    // Production fast path: nothing armed, nothing counted.
+    if (armedRules.load(std::memory_order_acquire) == 0)
+        return Status();
+
+    std::lock_guard<std::mutex> lock(mu);
+    SiteStats &stats = siteStats(site);
+    ++stats.occurrences;
+
+    for (Rule &rule : rules) {
+        if (rule.site != site ||
+            (!rule.detail.empty() && rule.detail != detail)) {
+            continue;
+        }
+        ++rule.seen;
+
+        bool fire;
+        if (rule.seeded) {
+            fire = rule.shots < rule.maxFires &&
+                static_cast<double>(splitmix64(rule.seed + rule.seen)) <
+                    rule.rate * 18446744073709551616.0; // 2^64
+        } else {
+            fire = std::binary_search(rule.occurrences.begin(),
+                                      rule.occurrences.end(), rule.seen);
+        }
+        if (!fire)
+            continue;
+
+        ++rule.shots;
+        ++stats.fired;
+        return Status::error(
+            rule.code,
+            csprintf("injected fault at %s%s%s (occurrence %llu)",
+                     site.c_str(), detail.empty() ? "" : ":",
+                     detail.c_str(),
+                     static_cast<unsigned long long>(rule.seen)));
+    }
+    return Status();
+}
+
+void
+faultPoint(const std::string &site, const std::string &detail)
+{
+    Status st = FaultInjector::instance().check(site, detail);
+    if (!st.ok())
+        throw RecoverableError(std::move(st));
+}
+
+} // namespace seqpoint

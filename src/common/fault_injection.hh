@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for the robustness tests and the
+ * chaos bench: named fault points compiled into the IO and scheduler
+ * paths (snapshot reads/writes, registry disk operations, cell
+ * evaluation) that an armed rule can turn into recoverable failures.
+ *
+ * Determinism is the whole point -- a chaos run must be replayable:
+ *
+ *   - count-triggered rules fire on an explicit list of occurrence
+ *     numbers (the 1st, 3rd, ... time the point is passed);
+ *   - seeded rules fire on the occurrences a splitmix64 stream of the
+ *     given seed selects, capped at a maximum number of shots (so a
+ *     retry budget can be provisioned to outlast them);
+ *   - rules can be pinned to one detail (one cell index, one file
+ *     name) so concurrent sweeps fault the same logical work
+ *     regardless of thread interleaving.
+ *
+ * With nothing armed (the production state) a fault point is one
+ * relaxed atomic load.
+ */
+
+#ifndef SEQPOINT_COMMON_FAULT_INJECTION_HH
+#define SEQPOINT_COMMON_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace seqpoint {
+
+/** Process-wide registry of armed fault rules. */
+class FaultInjector
+{
+  public:
+    /** @return The process-wide injector. */
+    static FaultInjector &instance();
+
+    /**
+     * Arm a count-triggered rule: the point fires on exactly the
+     * listed occurrence numbers (1-based, counted per rule across
+     * matching events).
+     *
+     * @param site Fault-point name (e.g. "snapshot_io.read").
+     * @param detail Pin to one event detail (a path, a cell index);
+     *               "" matches every event at the site.
+     * @param occurrences 1-based occurrence numbers that fail.
+     * @param code Error classification of the injected failures.
+     */
+    void armAt(const std::string &site, const std::string &detail,
+               std::vector<uint64_t> occurrences,
+               ErrorCode code = ErrorCode::IoError);
+
+    /**
+     * Arm a seeded rule: occurrence n fires when the splitmix64
+     * stream of `seed` maps n below `rate`, until `max_fires` shots
+     * have been injected. Same seed, same occurrence sequence -> same
+     * faults, every run.
+     *
+     * @param site Fault-point name.
+     * @param detail Pin to one event detail; "" matches every event.
+     * @param seed Deterministic stream seed.
+     * @param rate Per-occurrence fire probability in [0, 1].
+     * @param max_fires Shot cap (provision retries above this).
+     * @param code Error classification of the injected failures.
+     */
+    void armSeeded(const std::string &site, const std::string &detail,
+                   uint64_t seed, double rate, uint64_t max_fires,
+                   ErrorCode code = ErrorCode::IoError);
+
+    /** Disarm every rule and zero every counter. */
+    void reset();
+
+    /** @return Total faults injected by rules on `site` so far. */
+    uint64_t fired(const std::string &site) const;
+
+    /** @return Times any event at `site` passed a fault point. */
+    uint64_t occurrences(const std::string &site) const;
+
+    /**
+     * Record one event at a fault point and decide its fate.
+     *
+     * @param site Fault-point name.
+     * @param detail Event detail (path, cell index, ...).
+     * @return OK to proceed, or the injected failure.
+     */
+    Status check(const std::string &site, const std::string &detail);
+
+  private:
+    FaultInjector() = default;
+
+    /** One armed rule; `seen`/`shots` are its private counters. */
+    struct Rule {
+        std::string site;
+        std::string detail; ///< "" = any detail.
+        ErrorCode code = ErrorCode::IoError;
+        std::vector<uint64_t> occurrences; ///< Count-triggered list.
+        bool seeded = false;
+        uint64_t seed = 0;
+        double rate = 0.0;
+        uint64_t maxFires = 0;
+        uint64_t seen = 0;  ///< Matching events so far.
+        uint64_t shots = 0; ///< Faults injected so far.
+    };
+
+    /** Per-site counters, for tests and chaos-report accounting. */
+    struct SiteStats {
+        uint64_t occurrences = 0;
+        uint64_t fired = 0;
+    };
+
+    std::atomic<uint64_t> armedRules{0};
+    mutable std::mutex mu;
+    std::vector<Rule> rules;
+    std::vector<std::pair<std::string, SiteStats>> sites;
+
+    SiteStats &siteStats(const std::string &site);
+};
+
+/**
+ * A fault point: records the event and throws RecoverableError when
+ * an armed rule fires. Call at the top of an operation whose failure
+ * the containment layer must survive.
+ *
+ * @param site Fault-point name.
+ * @param detail Event detail ("" when there is no natural one).
+ */
+void faultPoint(const std::string &site,
+                const std::string &detail = "");
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_FAULT_INJECTION_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace seqpoint {
 
@@ -47,10 +48,21 @@ ThreadPool::workerLoop()
             queue.pop_front();
             ++active;
         }
-        task();
+        // A throwing task must neither kill the worker (std::terminate
+        // on an escaped exception) nor leak `active` (which would
+        // deadlock every later wait()): capture the exception, finish
+        // the bookkeeping, and let wait() rethrow the first one.
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mu);
             --active;
+            if (err && !firstError)
+                firstError = err;
             if (queue.empty() && active == 0)
                 cvIdle.notify_all();
         }
@@ -72,6 +84,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mu);
     cvIdle.wait(lock, [this] { return queue.empty() && active == 0; });
+    if (firstError) {
+        std::exception_ptr err = std::exchange(firstError, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
@@ -87,14 +104,25 @@ ThreadPool::parallelFor(std::size_t count,
 
     // Each participant pulls the next unclaimed index; the caller
     // joins in so a single-threaded pool still makes progress while
-    // workers are busy elsewhere.
+    // workers are busy elsewhere. A participant whose index throws
+    // records the exception and stops draining, but always counts
+    // itself done -- otherwise the completion wait below would hang
+    // forever on the first throwing task.
     auto next = std::make_shared<std::atomic<std::size_t>>(0);
-    auto drain = [next, count, &fn] {
-        for (;;) {
-            std::size_t i = next->fetch_add(1);
-            if (i >= count)
-                return;
-            fn(i);
+    std::mutex err_mu;
+    std::exception_ptr first_err;
+    auto drain = [next, count, &fn, &err_mu, &first_err] {
+        try {
+            for (;;) {
+                std::size_t i = next->fetch_add(1);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_err)
+                first_err = std::current_exception();
         }
     };
 
@@ -113,8 +141,12 @@ ThreadPool::parallelFor(std::size_t count,
 
     drain();
 
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return done == jobs; });
+    {
+        std::unique_lock<std::mutex> lock(done_mu);
+        done_cv.wait(lock, [&] { return done == jobs; });
+    }
+    if (first_err)
+        std::rethrow_exception(first_err);
 }
 
 } // namespace seqpoint

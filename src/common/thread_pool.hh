@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,17 +46,31 @@ class ThreadPool
     /**
      * Enqueue one task for asynchronous execution.
      *
+     * A task that throws never takes the pool down: the exception is
+     * captured (the first one wins), the worker stays alive, and the
+     * next wait() rethrows it.
+     *
      * @param fn Task body.
      */
     void run(std::function<void()> fn);
 
-    /** Block until every task enqueued so far has finished. */
+    /**
+     * Block until every task enqueued so far has finished, then
+     * rethrow the first exception any of them raised (clearing it, so
+     * the pool is reusable afterwards). Completes the full drain
+     * first -- a throwing task never strands its siblings.
+     */
     void wait();
 
     /**
      * Run fn(0) .. fn(count-1), each exactly once, across the workers
      * and the calling thread; returns when all are done. Tasks must
      * derive any randomness from their index to stay deterministic.
+     *
+     * A throwing index stops only its own participant's draining; the
+     * remaining indices still run on the other participants, and the
+     * first exception is rethrown once every index has been claimed
+     * and finished.
      *
      * @param count Index range size.
      * @param fn Task body, given the task index.
@@ -71,6 +86,7 @@ class ThreadPool
     std::condition_variable cvIdle;  ///< Signals wait(): all drained.
     std::size_t active = 0;          ///< Tasks currently executing.
     bool stopping = false;
+    std::exception_ptr firstError;   ///< First run() task exception.
 
     void workerLoop();
 };

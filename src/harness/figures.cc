@@ -91,7 +91,8 @@ runFigureSweepSerial(const WorkloadFactory &make,
 
 FigureSweep
 runFigureSweepScheduled(const WorkloadFactory &make, unsigned threads,
-                        SnapshotRegistry *registry)
+                        SnapshotRegistry *registry,
+                        unsigned cell_retries)
 {
     auto cfgs = sim::GpuConfig::table2();
     unsigned t = defaultThreads(threads);
@@ -119,6 +120,7 @@ runFigureSweepScheduled(const WorkloadFactory &make, unsigned threads,
     // selections either way, so no cell rebuilds them.
     ExperimentScheduler sched(
         std::min<unsigned>(t, static_cast<unsigned>(cfgs.size())));
+    sched.setCellRetries(cell_retries);
     std::function<FigureColumn(Experiment &, const sim::GpuConfig &)>
         eval = [&snap](Experiment &exp, const sim::GpuConfig &cfg) {
             return evalColumn(exp, cfg, snap->selections);
@@ -186,7 +188,8 @@ SensitivitySweep
 runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
                              int64_t sl_hi, int64_t step,
                              unsigned threads,
-                             SnapshotRegistry *registry)
+                             SnapshotRegistry *registry,
+                             unsigned cell_retries)
 {
     auto cfgs = sim::GpuConfig::table2();
     unsigned t = defaultThreads(threads);
@@ -201,6 +204,7 @@ runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
 
     ExperimentScheduler sched(
         std::min<unsigned>(t, static_cast<unsigned>(cfgs.size())));
+    sched.setCellRetries(cell_retries);
     std::function<CellResult(Experiment &, const sim::GpuConfig &)>
         eval = [&sls](Experiment &exp, const sim::GpuConfig &cfg) {
             exp.warmIterProfiles(cfg, sls);

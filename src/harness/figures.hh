@@ -90,10 +90,13 @@ FigureSweep runFigureSweepSerial(const WorkloadFactory &make,
  * @param make Workload factory.
  * @param threads Scheduler width; 0 picks the hardware concurrency.
  * @param registry Optional snapshot registry.
+ * @param cell_retries Extra attempts for a failing cell before it is
+ *                     recorded as failed (fault containment).
  */
 FigureSweep runFigureSweepScheduled(const WorkloadFactory &make,
                                     unsigned threads = 0,
-                                    SnapshotRegistry *registry = nullptr);
+                                    SnapshotRegistry *registry = nullptr,
+                                    unsigned cell_retries = 0);
 
 /**
  * The fig13/14-style per-SL sensitivity series: iteration times for
@@ -145,12 +148,15 @@ SensitivitySweep runSensitivitySweepSerial(const WorkloadFactory &make,
  * @param step Sweep step.
  * @param threads Scheduler width; 0 picks the hardware concurrency.
  * @param registry Optional snapshot registry.
+ * @param cell_retries Extra attempts for a failing cell before it is
+ *                     recorded as failed (fault containment).
  */
 SensitivitySweep
 runSensitivitySweepScheduled(const WorkloadFactory &make, int64_t sl_lo,
                              int64_t sl_hi, int64_t step,
                              unsigned threads = 0,
-                             SnapshotRegistry *registry = nullptr);
+                             SnapshotRegistry *registry = nullptr,
+                             unsigned cell_retries = 0);
 
 } // namespace harness
 } // namespace seqpoint

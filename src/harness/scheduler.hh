@@ -18,7 +18,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
 #include "harness/snapshot.hh"
@@ -26,6 +28,18 @@
 
 namespace seqpoint {
 namespace harness {
+
+/**
+ * Terminal outcome of one sweep cell under fault containment: how
+ * many attempts the cell consumed and, when even the last one failed,
+ * the error that stopped it. A failed cell never aborts the sweep --
+ * its result slot stays default-constructed and is marked explicitly.
+ */
+struct CellOutcome {
+    bool failed = false;   ///< True when every attempt failed.
+    unsigned attempts = 1; ///< Attempts consumed (1 = first try OK).
+    std::string error;     ///< Last attempt's error ("" when OK).
+};
 
 /**
  * Wall-time breakdown of one sweep cell, for the bench reports that
@@ -36,7 +50,9 @@ namespace harness {
  */
 struct CellTiming {
     double totalSec = 0.0; ///< Construct + seed + eval, wall time.
-    double setupSec = 0.0; ///< Experiment construction + seeding.
+    double setupSec = 0.0; ///< Experiment construction + seeding
+                           ///< (final attempt only under retries).
+    CellOutcome outcome;   ///< Fault-containment record.
 
     /** @return Cell-body (eval) wall time. */
     double evalSec() const { return totalSec - setupSec; }
@@ -51,6 +67,8 @@ struct EpochCellResult {
     double evalSec = 0.0;       ///< Evaluation-phase time.
     double throughput = 0.0;    ///< Training throughput (samples/s).
     sim::PerfCounters counters; ///< Summed training counters.
+    bool failed = false;        ///< Cell failed after its retries.
+    std::string error;          ///< Terminal error ("" when OK).
 };
 
 /**
@@ -88,6 +106,35 @@ class ExperimentScheduler
 
     /** @return Per-cell profiling-sweep thread count. */
     unsigned profileThreadsPerCell() const { return cellProfileThreads; }
+
+    /**
+     * Retries granted to a failing cell: a cell whose setup or body
+     * raises a recoverable failure is re-run from scratch (fresh
+     * Experiment, fresh snapshot seeding) up to this many extra
+     * times before it is recorded as failed. Cell evaluation is a
+     * pure function of (factory, config), so a retry that survives
+     * its fault converges to the exact result of a clean run. The
+     * default 0 records the first failure immediately; either way the
+     * rest of the sweep always completes.
+     *
+     * @param retries Extra attempts after the first.
+     */
+    void setCellRetries(unsigned retries) { cellRetries = retries; }
+
+    /** @return Extra attempts granted to a failing cell. */
+    unsigned retriesPerCell() const { return cellRetries; }
+
+    /**
+     * Delay before each retry of a failing cell (a real store race or
+     * NFS hiccup needs a moment to clear; injected faults in tests
+     * want 0).
+     *
+     * @param seconds Sleep before retry attempt n+1, in seconds.
+     */
+    void setRetryBackoff(double seconds) { backoffSec = seconds; }
+
+    /** @return Sleep before each retry, in seconds. */
+    double retryBackoffSec() const { return backoffSec; }
 
     /**
      * Per-workload shared cold-start snapshots for mapCells(): either
@@ -147,21 +194,59 @@ class ExperimentScheduler
         std::vector<R> results(workloads.size() * configs.size());
         if (timings)
             timings->assign(results.size(), CellTiming{});
-        forEachCell(workloads.size(), configs.size(),
-                    [&](std::size_t cell, std::size_t w, std::size_t c) {
-                        double t0 = wallNow();
+        forEachCell(
+            workloads.size(), configs.size(),
+            [&](std::size_t cell, std::size_t w, std::size_t c) {
+                // Fault containment: a cell whose setup or body
+                // raises a recoverable failure is retried from
+                // scratch, then recorded as failed -- never allowed
+                // to take down the sweep (or, via the pool, the
+                // process). Failures that are not exceptions
+                // (fatal/panic) still stop everything, as they must.
+                double t0 = wallNow();
+                double setup_sec = 0.0;
+                CellOutcome outcome;
+                for (unsigned attempt = 1;; ++attempt) {
+                    outcome.attempts = attempt;
+                    try {
+                        faultPoint("scheduler.cell",
+                                   csprintf("%zu/%zu", w, c));
+                        double s0 = wallNow();
                         Experiment exp(workloads[w]());
                         exp.setProfileThreads(
-                            cellProfileThreads ? cellProfileThreads : 1);
+                            cellProfileThreads ? cellProfileThreads
+                                               : 1);
                         if (snapshots)
                             exp.seedFrom(snapshots(w, configs[c], exp));
-                        double t1 = wallNow();
+                        setup_sec = wallNow() - s0;
                         results[cell] = eval(exp, configs[c]);
-                        if (timings) {
-                            (*timings)[cell].totalSec = wallNow() - t0;
-                            (*timings)[cell].setupSec = t1 - t0;
-                        }
-                    });
+                        break;
+                    } catch (const RecoverableError &e) {
+                        outcome.error = e.status().toString();
+                    } catch (const std::exception &e) {
+                        outcome.error =
+                            Status::error(ErrorCode::CellFailed,
+                                          e.what())
+                                .toString();
+                    }
+                    if (attempt > cellRetries) {
+                        outcome.failed = true;
+                        warn("scheduler: cell %zu/%zu failed after "
+                             "%u attempt(s): %s",
+                             w, c, attempt, outcome.error.c_str());
+                        break;
+                    }
+                    warn("scheduler: cell %zu/%zu attempt %u failed "
+                         "(%s); retrying",
+                         w, c, attempt, outcome.error.c_str());
+                    backoffSleep(backoffSec);
+                }
+                if (timings) {
+                    (*timings)[cell].totalSec = wallNow() - t0;
+                    (*timings)[cell].setupSec = setup_sec;
+                    (*timings)[cell].outcome = std::move(outcome);
+                }
+            });
         return results;
     }
 
@@ -272,9 +357,14 @@ class ExperimentScheduler
   private:
     unsigned numThreads;
     unsigned cellProfileThreads = 1;
+    unsigned cellRetries = 0;
+    double backoffSec = 0.0;
 
     /** Monotonic wall clock in seconds (cell-timing collection). */
     static double wallNow();
+
+    /** Sleep `seconds` before a retry (no-op for 0). */
+    static void backoffSleep(double seconds);
 
     /**
      * Invoke fn(cell, w, c) for every cell, across the pool when

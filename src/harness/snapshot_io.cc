@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "common/bytestream.hh"
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
@@ -74,9 +75,11 @@ decodeProfileMap(ByteReader &r)
         int64_t sl = r.i64();
         bool inserted =
             map.emplace(sl, prof::decodeIterationProfile(r)).second;
-        fatal_if(!inserted,
-                 "%s: duplicate profile entry for SL %lld",
-                 r.what().c_str(), static_cast<long long>(sl));
+        if (!inserted) {
+            r.fail(csprintf("%s: duplicate profile entry for SL %lld",
+                            r.what().c_str(),
+                            static_cast<long long>(sl)));
+        }
     }
     return map;
 }
@@ -163,9 +166,10 @@ encodeSnapshotPayload(const ModelSnapshot &snap)
 }
 
 ModelSnapshot
-decodeSnapshotPayload(std::string_view payload, const std::string &what)
+decodeSnapshotPayload(std::string_view payload, const std::string &what,
+                      ByteReader::OnError on_error)
 {
-    ByteReader r(payload, what);
+    ByteReader r(payload, what, on_error);
     ModelSnapshot snap;
 
     snap.workload = r.str();
@@ -173,8 +177,9 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what)
     snap.dataset = r.str();
     snap.batchSize = r.u32();
     uint32_t policy = r.u32();
-    fatal_if(policy > static_cast<uint32_t>(data::BatchPolicy::Bucketed),
-             "%s: invalid batch policy %u", what.c_str(), policy);
+    if (policy > static_cast<uint32_t>(data::BatchPolicy::Bucketed))
+        r.fail(csprintf("%s: invalid batch policy %u", what.c_str(),
+                        policy));
     snap.policy = static_cast<data::BatchPolicy>(policy);
     snap.seed = r.u64();
     snap.evalCostMultiplier = r.f64();
@@ -197,20 +202,22 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what)
     uint64_t sel_n = r.u64();
     for (uint64_t i = 0; i < sel_n; ++i) {
         uint32_t kind = r.u32();
-        fatal_if(kind >
-                     static_cast<uint32_t>(core::SelectorKind::SeqPoint),
-                 "%s: invalid selector kind %u", what.c_str(), kind);
+        if (kind > static_cast<uint32_t>(core::SelectorKind::SeqPoint))
+            r.fail(csprintf("%s: invalid selector kind %u",
+                            what.c_str(), kind));
         bool inserted =
             snap.selections
                 .emplace(static_cast<core::SelectorKind>(kind),
                          core::decodeSeqPointSet(r))
                 .second;
-        fatal_if(!inserted, "%s: duplicate selector kind %u",
-                 what.c_str(), kind);
+        if (!inserted)
+            r.fail(csprintf("%s: duplicate selector kind %u",
+                            what.c_str(), kind));
     }
 
-    fatal_if(!r.done(), "%s: %zu trailing byte(s) after the payload",
-             what.c_str(), r.remaining());
+    if (!r.done())
+        r.fail(csprintf("%s: %zu trailing byte(s) after the payload",
+                        what.c_str(), r.remaining()));
     return snap;
 }
 
@@ -239,6 +246,19 @@ saveSnapshot(const ModelSnapshot &snap, const std::string &path)
             std::remove(tmp.c_str());
             return false;
         }
+        // An injected write fault models a writer dying mid-stream:
+        // half the bytes land in the temp file, the rename never
+        // happens, and the destination name is never created -- the
+        // invariant the atomic-save scheme must uphold.
+        Status injected =
+            FaultInjector::instance().check("snapshot_io.write", path);
+        if (!injected.ok()) {
+            std::string full = header.data() + payload;
+            out << full.substr(0, full.size() / 2);
+            out.flush();
+            warn("saveSnapshot: %s", injected.toString().c_str());
+            return false;
+        }
         out << header.data() << payload;
         if (!out) {
             warn("saveSnapshot: short write to '%s'", tmp.c_str());
@@ -257,67 +277,138 @@ saveSnapshot(const ModelSnapshot &snap, const std::string &path)
 
 namespace {
 
-/** Shared loader: `missing_ok` turns an unopenable file into null. */
-std::shared_ptr<const ModelSnapshot>
-loadSnapshotImpl(const std::string &path, const SnapshotKey *expect,
-                 bool missing_ok)
+/** Shorthand for the loader's error results. */
+Status
+loadError(ErrorCode code, std::string msg)
 {
+    return Status::error(code, std::move(msg));
+}
+
+} // anonymous namespace
+
+Result<std::shared_ptr<const ModelSnapshot>>
+tryLoadSnapshot(const std::string &path, const SnapshotKey *expect)
+{
+    using SnapPtr = std::shared_ptr<const ModelSnapshot>;
+
+    Status injected =
+        FaultInjector::instance().check("snapshot_io.read", path);
+    if (!injected.ok())
+        return injected;
+
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in && missing_ok)
-        return nullptr;
-    fatal_if(!in, "loadSnapshot: cannot open '%s'", path.c_str());
+    if (!in)
+        return SnapPtr(nullptr); // expected store miss, not an error
     std::streamoff size = in.tellg();
-    fatal_if(size < 0, "loadSnapshot: cannot stat '%s'", path.c_str());
+    if (size < 0) {
+        return loadError(ErrorCode::IoError,
+                         csprintf("%s: cannot stat", path.c_str()));
+    }
     std::string bytes(static_cast<size_t>(size), '\0');
     in.seekg(0);
     in.read(bytes.data(), size);
-    fatal_if(!in, "loadSnapshot: read error on '%s'", path.c_str());
-
-    ByteReader header(bytes, path);
-    uint32_t magic = header.u32();
-    fatal_if(magic != kSnapshotMagic,
-             "%s: not a snapshot file (magic %08x, expected %08x)",
-             path.c_str(), magic, kSnapshotMagic);
-    uint32_t version = header.u32();
-    fatal_if(version != kSnapshotFormatVersion,
-             "%s: snapshot format version %u, this build reads only "
-             "version %u; delete the stale store entry",
-             path.c_str(), version, kSnapshotFormatVersion);
-    uint64_t payload_size = header.u64();
-    uint64_t checksum = header.u64();
-    fatal_if(payload_size != header.remaining(),
-             "%s: payload is %zu byte(s), header promises %llu "
-             "(truncated or corrupted file)",
-             path.c_str(), header.remaining(),
-             static_cast<unsigned long long>(payload_size));
-
-    std::string_view payload =
-        std::string_view(bytes).substr(bytes.size() - payload_size);
-    fatal_if(fnv1a64Words(payload) != checksum,
-             "%s: payload checksum mismatch (corrupted file)",
-             path.c_str());
-
-    auto snap = std::make_shared<ModelSnapshot>(
-        decodeSnapshotPayload(payload, path));
-
-    if (expect) {
-        SnapshotKey got = snapshotKeyOf(*snap);
-        fatal_if(got.workload != expect->workload,
-                 "%s: snapshot is for workload '%s', expected '%s'",
-                 path.c_str(), got.workload.c_str(),
-                 expect->workload.c_str());
-        fatal_if(got.configSignature != expect->configSignature,
-                 "%s: snapshot config signature mismatch for workload "
-                 "'%s'\n  file:     %s\n  expected: %s",
-                 path.c_str(), got.workload.c_str(),
-                 got.configSignature.c_str(),
-                 expect->configSignature.c_str());
-        fatal_if(got.paramDigest != expect->paramDigest,
-                 "%s: snapshot run-parameter mismatch for workload "
-                 "'%s'\n  file:     %s\n  expected: %s",
-                 path.c_str(), got.workload.c_str(),
-                 got.paramDigest.c_str(), expect->paramDigest.c_str());
+    if (!in) {
+        return loadError(ErrorCode::IoError,
+                         csprintf("%s: read error", path.c_str()));
     }
+
+    try {
+        ByteReader header(bytes, path, ByteReader::OnError::Throw);
+        uint32_t magic = header.u32();
+        if (magic != kSnapshotMagic) {
+            return loadError(
+                ErrorCode::Corruption,
+                csprintf("%s: not a snapshot file (magic %08x, "
+                         "expected %08x)",
+                         path.c_str(), magic, kSnapshotMagic));
+        }
+        uint32_t version = header.u32();
+        if (version != kSnapshotFormatVersion) {
+            return loadError(
+                ErrorCode::VersionMismatch,
+                csprintf("%s: snapshot format version %u, this build "
+                         "reads only version %u; delete the stale "
+                         "store entry",
+                         path.c_str(), version,
+                         kSnapshotFormatVersion));
+        }
+        uint64_t payload_size = header.u64();
+        uint64_t checksum = header.u64();
+        if (payload_size != header.remaining()) {
+            return loadError(
+                ErrorCode::Corruption,
+                csprintf("%s: payload is %zu byte(s), header promises "
+                         "%llu (truncated or corrupted file)",
+                         path.c_str(), header.remaining(),
+                         static_cast<unsigned long long>(
+                             payload_size)));
+        }
+
+        std::string_view payload =
+            std::string_view(bytes).substr(bytes.size() - payload_size);
+        if (fnv1a64Words(payload) != checksum) {
+            return loadError(
+                ErrorCode::Corruption,
+                csprintf("%s: payload checksum mismatch (corrupted "
+                         "file)",
+                         path.c_str()));
+        }
+
+        auto snap = std::make_shared<ModelSnapshot>(
+            decodeSnapshotPayload(payload, path,
+                                  ByteReader::OnError::Throw));
+
+        if (expect) {
+            SnapshotKey got = snapshotKeyOf(*snap);
+            if (got.workload != expect->workload) {
+                return loadError(
+                    ErrorCode::Corruption,
+                    csprintf("%s: snapshot is for workload '%s', "
+                             "expected '%s'",
+                             path.c_str(), got.workload.c_str(),
+                             expect->workload.c_str()));
+            }
+            if (got.configSignature != expect->configSignature) {
+                return loadError(
+                    ErrorCode::Corruption,
+                    csprintf("%s: snapshot config signature mismatch "
+                             "for workload '%s'\n  file:     %s\n"
+                             "  expected: %s",
+                             path.c_str(), got.workload.c_str(),
+                             got.configSignature.c_str(),
+                             expect->configSignature.c_str()));
+            }
+            if (got.paramDigest != expect->paramDigest) {
+                return loadError(
+                    ErrorCode::Corruption,
+                    csprintf("%s: snapshot run-parameter mismatch for "
+                             "workload '%s'\n  file:     %s\n"
+                             "  expected: %s",
+                             path.c_str(), got.workload.c_str(),
+                             got.paramDigest.c_str(),
+                             expect->paramDigest.c_str()));
+            }
+        }
+        return SnapPtr(std::move(snap));
+    } catch (const RecoverableError &e) {
+        // Structural decode failure inside a checksum-valid frame
+        // (or a truncated frame caught by the reader's bounds check).
+        return e.status();
+    }
+}
+
+namespace {
+
+/** Shared fail-fast wrapper over tryLoadSnapshot(). */
+std::shared_ptr<const ModelSnapshot>
+loadSnapshotOrDie(const std::string &path, const SnapshotKey *expect,
+                  bool missing_ok)
+{
+    auto result = tryLoadSnapshot(path, expect);
+    fatal_if(!result.ok(), "%s", result.status().message().c_str());
+    auto snap = result.take();
+    if (!snap && !missing_ok)
+        fatal("loadSnapshot: cannot open '%s'", path.c_str());
     return snap;
 }
 
@@ -326,14 +417,14 @@ loadSnapshotImpl(const std::string &path, const SnapshotKey *expect,
 std::shared_ptr<const ModelSnapshot>
 loadSnapshot(const std::string &path, const SnapshotKey *expect)
 {
-    return loadSnapshotImpl(path, expect, /*missing_ok=*/false);
+    return loadSnapshotOrDie(path, expect, /*missing_ok=*/false);
 }
 
 std::shared_ptr<const ModelSnapshot>
 loadSnapshotIfPresent(const std::string &path,
                       const SnapshotKey *expect)
 {
-    return loadSnapshotImpl(path, expect, /*missing_ok=*/true);
+    return loadSnapshotOrDie(path, expect, /*missing_ok=*/true);
 }
 
 } // namespace harness

@@ -12,8 +12,14 @@
  * function of (workload, every GpuConfig parameter, every run
  * parameter). Any mismatch -- wrong magic, wrong version, truncation,
  * corruption, or an identity that differs from what the caller
- * expects -- is a fatal error. A stale or foreign file can never
+ * expects -- rejects the file. A stale or foreign file can never
  * silently half-seed an experiment.
+ *
+ * Rejection comes in two strengths. tryLoadSnapshot() classifies the
+ * failure in a Result, so the registry can degrade a bad store file
+ * to a cold-start recompute (quarantining the file); loadSnapshot()
+ * and loadSnapshotIfPresent() keep the original fail-fast contract
+ * for callers that point at an explicit file.
  */
 
 #ifndef SEQPOINT_HARNESS_SNAPSHOT_IO_HH
@@ -23,6 +29,8 @@
 #include <string>
 #include <string_view>
 
+#include "common/bytestream.hh"
+#include "common/status.hh"
 #include "core/seqpoint.hh"
 #include "harness/snapshot.hh"
 #include "harness/workloads.hh"
@@ -85,11 +93,13 @@ SnapshotKey snapshotKeyOf(const ModelSnapshot &snap);
 std::string encodeSnapshotPayload(const ModelSnapshot &snap);
 
 /**
- * Decode a payload written by encodeSnapshotPayload(). Fatal on any
- * structural problem; `what` names the artifact in error messages.
+ * Decode a payload written by encodeSnapshotPayload(). Any structural
+ * problem fails in the given mode (fatal, or RecoverableError with
+ * code Corruption); `what` names the artifact in error messages.
  */
-ModelSnapshot decodeSnapshotPayload(std::string_view payload,
-                                    const std::string &what);
+ModelSnapshot decodeSnapshotPayload(
+    std::string_view payload, const std::string &what,
+    ByteReader::OnError on_error = ByteReader::OnError::Fatal);
 
 /**
  * Write a snapshot to `path` (header + checksummed payload).
@@ -107,8 +117,32 @@ bool saveSnapshot(const ModelSnapshot &snap, const std::string &path);
  * Load a snapshot from `path` with strict validation: format magic,
  * format version, payload size, payload checksum and full structural
  * decode must all pass, and when `expect` is non-null the decoded
- * identity must match it exactly. Any failure is fatal -- a bad file
- * is rejected loudly, never silently half-seeded.
+ * identity must match it exactly -- but classify any failure instead
+ * of aborting, so the caller can degrade (recompute cold, quarantine
+ * the file) rather than die.
+ *
+ * Outcomes:
+ *   - OK holding the snapshot: the file passed every check;
+ *   - OK holding null: the file does not exist / cannot be opened
+ *     (an expected store miss, not an error);
+ *   - IoError: the file opened but could not be read;
+ *   - VersionMismatch: another format generation's file;
+ *   - Corruption: anything else -- bad magic, truncation, checksum,
+ *     structural decode failure, or an identity that is not `expect`.
+ *
+ * @param path Source file.
+ * @param expect Identity the caller requires, or null to accept any
+ *               well-formed snapshot.
+ * @return The classified outcome.
+ */
+Result<std::shared_ptr<const ModelSnapshot>>
+tryLoadSnapshot(const std::string &path,
+                const SnapshotKey *expect = nullptr);
+
+/**
+ * Load a snapshot from `path`; any failure (including a missing
+ * file) is fatal -- the fail-fast flavour of tryLoadSnapshot() for
+ * callers naming an explicit file that must exist.
  *
  * @param path Source file.
  * @param expect Identity the caller requires, or null to accept any

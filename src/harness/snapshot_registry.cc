@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 
 namespace seqpoint {
@@ -108,6 +109,20 @@ SnapshotRegistry::pathFor(const SnapshotKey &key) const
     return (fs::path(dir) / key.fileName()).string();
 }
 
+void
+SnapshotRegistry::quarantine(const std::string &path)
+{
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (ec) {
+        // The rename can lose to a concurrent quarantine or eviction;
+        // make sure the bad name is gone either way.
+        fs::remove(path, ec);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats_.quarantines;
+}
+
 std::shared_ptr<const ModelSnapshot>
 SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
 {
@@ -119,19 +134,36 @@ SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
     if (!dir.empty()) {
         std::string path = pathFor(key);
         // Validated against the full key: a wrong file under this
-        // name is fatal, never silently adopted. A file that cannot
-        // be opened is a plain miss -- a concurrent registry's
-        // eviction (or an in-flight writer) may remove or not yet
-        // have produced it between any existence check and the open,
-        // and store races are tolerated, never fatal.
-        if (auto snap = loadSnapshotIfPresent(path, &key)) {
-            slot.snap = std::move(snap);
-            // Refresh recency so a capped store evicts cold entries,
-            // not the ones CI replays every run.
-            touchStoreFile(path);
-            std::lock_guard<std::mutex> lock(mu);
-            ++stats_.diskHits;
-            return slot.snap;
+        // name is never silently adopted. A file that cannot be
+        // opened is a plain miss -- a concurrent registry's eviction
+        // (or an in-flight writer) may remove or not yet have
+        // produced it between any existence check and the open, and
+        // store races are tolerated, never fatal.
+        Status injected = FaultInjector::instance().check(
+            "registry.load", key.fileName());
+        auto result = injected.ok()
+            ? tryLoadSnapshot(path, &key)
+            : Result<std::shared_ptr<const ModelSnapshot>>(injected);
+        if (result.ok()) {
+            if (auto snap = result.take()) {
+                slot.snap = std::move(snap);
+                // Refresh recency so a capped store evicts cold
+                // entries, not the ones CI replays every run.
+                touchStoreFile(path);
+                std::lock_guard<std::mutex> lock(mu);
+                ++stats_.diskHits;
+                return slot.snap;
+            }
+        } else if (strict_) {
+            fatal("%s", result.status().message().c_str());
+        } else {
+            // The store is a cache: a bad entry costs a rebuild,
+            // never the run. Move it aside so the rebuild's save gets
+            // a clean name and the bytes stay inspectable.
+            warn("SnapshotRegistry: rebuilding '%s' cold: %s",
+                 key.workload.c_str(),
+                 result.status().toString().c_str());
+            quarantine(path);
         }
     }
     return nullptr;
@@ -160,8 +192,16 @@ SnapshotRegistry::acquire(
              key.workload.c_str());
     if (!dir.empty()) {
         std::string path = pathFor(key);
-        if (saveSnapshot(*snap, path))
+        // Persisting is an optimisation: an injected (or real) save
+        // failure costs later processes a rebuild, nothing else.
+        Status injected = FaultInjector::instance().check(
+            "registry.save", key.fileName());
+        if (!injected.ok()) {
+            warn("SnapshotRegistry: not persisting '%s': %s",
+                 key.workload.c_str(), injected.toString().c_str());
+        } else if (saveSnapshot(*snap, path)) {
             enforceStoreCap(path);
+        }
     }
     slot->snap = std::move(snap);
     std::lock_guard<std::mutex> lock(mu);

@@ -33,6 +33,7 @@ struct SnapshotRegistryStats {
     uint64_t diskHits = 0;   ///< Loaded (and validated) from the store.
     uint64_t builds = 0;     ///< Built by running the cold start.
     uint64_t storeEvictions = 0; ///< Store files removed by the cap.
+    uint64_t quarantines = 0; ///< Bad store files set aside (.corrupt).
 };
 
 /**
@@ -45,8 +46,16 @@ struct SnapshotRegistryStats {
  * miss consults the store first, so cold starts are shared across
  * processes and (via CI caching) across runs. A store file is adopted
  * only after strict validation -- format magic/version, checksum, and
- * a full identity match against the requested key; anything else is
- * fatal (see snapshot_io.hh).
+ * a full identity match against the requested key (see
+ * snapshot_io.hh).
+ *
+ * A file that fails validation never stops the run by default: the
+ * store is a cache, so a corrupt, truncated or foreign entry is
+ * quarantined (renamed to <file>.corrupt, preserving the evidence
+ * while freeing the name) and the snapshot is rebuilt cold, exactly
+ * as if the store had missed. setStrict(true) restores the fail-fast
+ * behaviour -- CI jobs that own their store want a bad file to be a
+ * loud bug, not a silent rebuild.
  */
 class SnapshotRegistry
 {
@@ -130,12 +139,24 @@ class SnapshotRegistry
     /**
      * Look up `key` without building: the in-process cache first,
      * then the store. A store file found under the key's name is
-     * validated like any other load (mismatch is fatal).
+     * validated like any other load (a bad file is quarantined, or
+     * fatal in strict mode).
      *
      * @param key Full snapshot identity.
      * @return The snapshot, or null when the registry has nothing.
      */
     std::shared_ptr<const ModelSnapshot> cached(const SnapshotKey &key);
+
+    /**
+     * Select the response to a store file that fails validation:
+     * quarantine-and-rebuild (false, the default) or fatal (true).
+     *
+     * @param strict True restores fail-fast validation.
+     */
+    void setStrict(bool strict) { strict_ = strict; }
+
+    /** @return True when a bad store file is fatal. */
+    bool strict() const { return strict_; }
 
     /** @return Hit/build accounting so far. */
     SnapshotRegistryStats stats() const;
@@ -149,6 +170,7 @@ class SnapshotRegistry
 
     std::string dir;
     uint64_t storeCap = 0;
+    bool strict_ = false;
     mutable std::mutex mu;
     std::mutex storeMu; ///< Serialises store-wide eviction scans.
     std::map<std::string, std::shared_ptr<Slot>> slots;
@@ -174,10 +196,18 @@ class SnapshotRegistry
     /**
      * Memory-then-store lookup for `key`; the caller must hold the
      * slot's mutex. Bumps the hit statistics; returns null on a full
-     * miss (a mismatched store file is fatal, as everywhere).
+     * miss. A store file that fails validation is quarantined and
+     * reported as a miss (fatal in strict mode instead).
      */
     std::shared_ptr<const ModelSnapshot>
     lookupLocked(Slot &slot, const SnapshotKey &key);
+
+    /**
+     * Set a failed store file aside as `path`.corrupt (removing it
+     * when the rename loses a race), so the name is free for the
+     * rebuild's save and the bytes survive for a post-mortem.
+     */
+    void quarantine(const std::string &path);
 };
 
 } // namespace harness

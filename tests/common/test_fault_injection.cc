@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the deterministic fault injector: count-triggered and
+ * seeded rules, detail pinning, shot caps, per-site accounting, and
+ * the throwing faultPoint() wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fault_injection.hh"
+
+namespace seqpoint {
+namespace {
+
+/** Reset the process-wide injector around every test. */
+class FaultInjectionTest : public testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectionTest, NothingArmedNothingFires)
+{
+    auto &inj = FaultInjector::instance();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(inj.check("some.site", "detail").ok());
+    // The disarmed fast path does not even count events.
+    EXPECT_EQ(inj.occurrences("some.site"), 0u);
+    EXPECT_EQ(inj.fired("some.site"), 0u);
+    EXPECT_NO_THROW(faultPoint("some.site"));
+}
+
+TEST_F(FaultInjectionTest, CountTriggeredRuleFiresOnListedOccurrences)
+{
+    auto &inj = FaultInjector::instance();
+    inj.armAt("io.read", "", {1, 3}, ErrorCode::IoError);
+
+    EXPECT_FALSE(inj.check("io.read", "a").ok()); // occurrence 1
+    EXPECT_TRUE(inj.check("io.read", "b").ok());  // occurrence 2
+    Status third = inj.check("io.read", "c");     // occurrence 3
+    ASSERT_FALSE(third.ok());
+    EXPECT_EQ(third.code(), ErrorCode::IoError);
+    EXPECT_NE(third.message().find("io.read"), std::string::npos);
+    EXPECT_NE(third.message().find("occurrence 3"), std::string::npos);
+    EXPECT_TRUE(inj.check("io.read", "d").ok());  // list exhausted
+
+    EXPECT_EQ(inj.occurrences("io.read"), 4u);
+    EXPECT_EQ(inj.fired("io.read"), 2u);
+}
+
+TEST_F(FaultInjectionTest, DetailPinningIgnoresOtherEvents)
+{
+    auto &inj = FaultInjector::instance();
+    inj.armAt("cell", "1/2", {1}, ErrorCode::CellFailed);
+
+    // Events with other details pass and do not advance the rule.
+    EXPECT_TRUE(inj.check("cell", "0/0").ok());
+    EXPECT_TRUE(inj.check("cell", "1/0").ok());
+    Status hit = inj.check("cell", "1/2");
+    ASSERT_FALSE(hit.ok());
+    EXPECT_EQ(hit.code(), ErrorCode::CellFailed);
+    // The rule's single shot is spent: the same detail now passes.
+    EXPECT_TRUE(inj.check("cell", "1/2").ok());
+    EXPECT_EQ(inj.fired("cell"), 1u);
+}
+
+TEST_F(FaultInjectionTest, SeededRuleIsDeterministic)
+{
+    auto &inj = FaultInjector::instance();
+    auto run = [&](uint64_t seed) {
+        inj.reset();
+        inj.armSeeded("io", "", seed, 0.5, /*max_fires=*/1000,
+                      ErrorCode::IoError);
+        std::vector<bool> fires;
+        for (int i = 0; i < 64; ++i)
+            fires.push_back(!inj.check("io", "").ok());
+        return fires;
+    };
+
+    auto a1 = run(42);
+    auto a2 = run(42);
+    auto b = run(43);
+    EXPECT_EQ(a1, a2);       // same seed, same fault schedule
+    EXPECT_NE(a1, b);        // different seed, different schedule
+    // Rate 0.5 over 64 draws fires a plausible number of times.
+    size_t count = 0;
+    for (bool f : a1)
+        count += f;
+    EXPECT_GT(count, 16u);
+    EXPECT_LT(count, 48u);
+}
+
+TEST_F(FaultInjectionTest, SeededRuleHonoursShotCap)
+{
+    auto &inj = FaultInjector::instance();
+    inj.armSeeded("io", "", 7, 1.0, /*max_fires=*/3,
+                  ErrorCode::Corruption);
+    unsigned fired = 0;
+    for (int i = 0; i < 10; ++i)
+        fired += !inj.check("io", "").ok();
+    // Rate 1.0 would fire every time; the cap stops it at 3, so a
+    // retry budget of 4 is guaranteed to outlast the rule.
+    EXPECT_EQ(fired, 3u);
+    EXPECT_EQ(inj.fired("io"), 3u);
+}
+
+TEST_F(FaultInjectionTest, RulesAreIndependentAcrossSites)
+{
+    auto &inj = FaultInjector::instance();
+    inj.armAt("a", "", {1});
+    inj.armAt("b", "", {2});
+
+    EXPECT_FALSE(inj.check("a", "").ok());
+    EXPECT_TRUE(inj.check("b", "").ok());
+    EXPECT_FALSE(inj.check("b", "").ok());
+    EXPECT_EQ(inj.fired("a"), 1u);
+    EXPECT_EQ(inj.fired("b"), 1u);
+}
+
+TEST_F(FaultInjectionTest, FaultPointThrowsRecoverableError)
+{
+    FaultInjector::instance().armAt("site", "", {1},
+                                    ErrorCode::Timeout);
+    try {
+        faultPoint("site", "x");
+        FAIL() << "faultPoint did not throw";
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::Timeout);
+        EXPECT_NE(std::string(e.what()).find("site"),
+                  std::string::npos);
+    }
+    EXPECT_NO_THROW(faultPoint("site", "x"));
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndZeroesCounters)
+{
+    auto &inj = FaultInjector::instance();
+    inj.armAt("site", "", {1});
+    EXPECT_FALSE(inj.check("site", "").ok());
+    inj.reset();
+    EXPECT_TRUE(inj.check("site", "").ok());
+    EXPECT_EQ(inj.occurrences("site"), 0u);
+    EXPECT_EQ(inj.fired("site"), 0u);
+}
+
+} // anonymous namespace
+} // namespace seqpoint

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the Status/Result recoverable-error layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.hh"
+
+namespace seqpoint {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "ok");
+    EXPECT_TRUE(Status().ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::error(ErrorCode::Corruption,
+                             "checksum mismatch on snap-x.bin");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Corruption);
+    EXPECT_EQ(s.message(), "checksum mismatch on snap-x.bin");
+    EXPECT_EQ(s.toString(),
+              "corruption: checksum mismatch on snap-x.bin");
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io_error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Corruption), "corruption");
+    EXPECT_STREQ(errorCodeName(ErrorCode::VersionMismatch),
+                 "version_mismatch");
+    EXPECT_STREQ(errorCodeName(ErrorCode::CellFailed), "cell_failed");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Timeout), "timeout");
+}
+
+TEST(Status, ErrorWithOkCodeIsMisuse)
+{
+    EXPECT_DEATH((void)Status::error(ErrorCode::Ok, "nope"),
+                 "not an error code");
+}
+
+TEST(Result, OkHoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, ErrorHoldsStatus)
+{
+    Result<int> r(Status::error(ErrorCode::IoError, "short read"));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+    EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(Result, MoveOnlyValueCanBeTaken)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> v = r.take();
+    ASSERT_TRUE(v != nullptr);
+    EXPECT_EQ(*v, 9);
+}
+
+TEST(Result, ValueOnErrorIsMisuse)
+{
+    Result<int> r(Status::error(ErrorCode::Timeout, "deadline"));
+    EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(Result, ErrorConstructorRejectsOkStatus)
+{
+    EXPECT_DEATH((void)Result<int>(Status()), "OK status");
+}
+
+TEST(RecoverableError, CarriesStatusThroughThrow)
+{
+    try {
+        throw RecoverableError(
+            Status::error(ErrorCode::VersionMismatch, "v1 file"));
+    } catch (const RecoverableError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::VersionMismatch);
+        EXPECT_STREQ(e.what(), "version_mismatch: v1 file");
+        return;
+    }
+    FAIL() << "exception not caught";
+}
+
+} // anonymous namespace
+} // namespace seqpoint

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -93,6 +95,88 @@ TEST(ThreadPool, SingleWorkerPoolStillCompletesParallelFor)
     pool.parallelFor(32, [&count](size_t) { ++count; });
     pool.wait();
     EXPECT_EQ(count, 33);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesOnWaitWithoutKillingThePool)
+{
+    // Before the fix, an escaped task exception hit the worker loop
+    // and std::terminate'd the process (or, with a naive catch,
+    // leaked `active` and deadlocked every later wait()).
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.run([] { throw std::runtime_error("task boom"); });
+    for (int i = 0; i < 8; ++i)
+        pool.run([&ran] { ++ran; });
+
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()), "task boom");
+    }
+    // The drain completed despite the throw...
+    EXPECT_EQ(ran, 8);
+    // ...the error was consumed, and the pool is fully reusable.
+    pool.run([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran, 9);
+}
+
+TEST(ThreadPool, OnlyTheFirstTaskExceptionIsRethrown)
+{
+    ThreadPool pool(1); // serial queue: deterministic "first"
+    pool.run([] { throw std::runtime_error("first"); });
+    pool.run([] { throw std::runtime_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()), "first");
+    }
+    pool.wait(); // idempotent again after the rethrow
+}
+
+TEST(ThreadPool, ThrowingParallelForBodyRethrowsAfterFullDrain)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(64, [&ran](size_t i) {
+            if (i == 5)
+                throw std::runtime_error("body boom");
+            ++ran;
+        });
+        FAIL() << "parallelFor did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()), "body boom");
+    }
+    // A throwing index stops only its own participant; the others
+    // keep draining, so most indices still ran.
+    EXPECT_GT(ran, 0);
+    EXPECT_LE(ran, 63);
+
+    // The pool survives for the next (clean) parallelFor.
+    std::atomic<int> clean{0};
+    pool.parallelFor(16, [&clean](size_t) { ++clean; });
+    EXPECT_EQ(clean, 16);
+    pool.wait();
+}
+
+TEST(ThreadPool, ThrowingParallelForOnSingleWorkerDoesNotDeadlock)
+{
+    // Regression: the caller participates in the drain; if its own
+    // body throw skipped the done-counting, parallelFor would wait
+    // forever. Must complete promptly instead.
+    ThreadPool pool(1);
+    try {
+        pool.parallelFor(8, [](size_t) {
+            throw std::runtime_error("every index fails");
+        });
+        FAIL() << "parallelFor did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()), "every index fails");
+    }
+    pool.wait();
 }
 
 } // anonymous namespace

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "common/fault_injection.hh"
+#include "common/logging.hh"
 #include "harness/scheduler.hh"
 
 namespace seqpoint {
@@ -149,6 +153,129 @@ TEST(ExperimentScheduler, EmptyGridIsEmptyResult)
 TEST(ExperimentScheduler, DefaultThreadsPositive)
 {
     EXPECT_GE(ExperimentScheduler().threads(), 1u);
+}
+
+/** 2x2 grid for the containment tests (keeps the cold starts cheap). */
+std::vector<WorkloadFactory>
+twoWorkloads()
+{
+    return {[] { return makeGnmtWorkload(); },
+            [] { return makeDs2Workload(); }};
+}
+
+std::vector<sim::GpuConfig>
+twoConfigs()
+{
+    return {sim::GpuConfig::config1(), sim::GpuConfig::config2()};
+}
+
+TEST(ExperimentSchedulerFaults, FailedCellIsContainedAndMarked)
+{
+    FaultInjector::instance().reset();
+    setQuietLogging(true);
+    auto workloads = twoWorkloads();
+    auto configs = twoConfigs();
+
+    ExperimentScheduler sched(2);
+    auto clean = sched.epochSweep(workloads, configs);
+
+    // Fault cell (1, 0) -- DS2 on config#1 -- with no retry budget:
+    // the sweep must still complete, the other three cells must be
+    // bit-identical to the clean run, and the failed cell must say
+    // so instead of smuggling default-constructed zeros.
+    FaultInjector::instance().armAt("scheduler.cell", "1/0", {1},
+                                    ErrorCode::IoError);
+    std::vector<CellTiming> timings;
+    auto faulted = sched.epochSweep(workloads, configs, {}, &timings);
+    ASSERT_EQ(faulted.size(), 4u);
+    ASSERT_EQ(timings.size(), 4u);
+
+    const std::size_t failed_cell = 1 * configs.size() + 0;
+    for (std::size_t i = 0; i < faulted.size(); ++i) {
+        if (i == failed_cell)
+            continue;
+        EXPECT_FALSE(faulted[i].failed) << "cell " << i;
+        EXPECT_EQ(faulted[i].trainSec, clean[i].trainSec)
+            << "cell " << i;
+        EXPECT_EQ(faulted[i].throughput, clean[i].throughput)
+            << "cell " << i;
+    }
+    const EpochCellResult &bad = faulted[failed_cell];
+    EXPECT_TRUE(bad.failed);
+    EXPECT_NE(bad.error.find("injected fault"), std::string::npos)
+        << bad.error;
+    EXPECT_NE(bad.error.find("io_error"), std::string::npos);
+    EXPECT_EQ(bad.config, configs[0].name);
+    EXPECT_EQ(bad.workload, clean[failed_cell].workload)
+        << "failed cell should borrow its row's workload name";
+    EXPECT_EQ(bad.iterations, 0u); // result slot stayed default
+    EXPECT_TRUE(timings[failed_cell].outcome.failed);
+    EXPECT_EQ(timings[failed_cell].outcome.attempts, 1u);
+
+    FaultInjector::instance().reset();
+    setQuietLogging(false);
+}
+
+TEST(ExperimentSchedulerFaults, RetriedCellConvergesToCleanResult)
+{
+    FaultInjector::instance().reset();
+    setQuietLogging(true);
+    auto workloads = twoWorkloads();
+    auto configs = twoConfigs();
+
+    ExperimentScheduler serial(1);
+    auto clean = serial.epochSweep(workloads, configs);
+
+    // Two consecutive faults on cell (0, 1); a budget of two retries
+    // (three attempts) outlasts them, so the sweep must converge to
+    // the bit-identical clean results with no failed cells.
+    FaultInjector::instance().armAt("scheduler.cell", "0/1", {1, 2});
+    ExperimentScheduler sched(2);
+    sched.setCellRetries(2);
+    sched.setRetryBackoff(0.0);
+    std::vector<CellTiming> timings;
+    auto retried = sched.epochSweep(workloads, configs, {}, &timings);
+
+    expectCellsIdentical(retried, clean);
+    for (const EpochCellResult &r : retried)
+        EXPECT_FALSE(r.failed);
+    const std::size_t faulted_cell = 0 * configs.size() + 1;
+    EXPECT_EQ(timings[faulted_cell].outcome.attempts, 3u);
+    EXPECT_FALSE(timings[faulted_cell].outcome.failed);
+    EXPECT_EQ(FaultInjector::instance().fired("scheduler.cell"), 2u);
+
+    FaultInjector::instance().reset();
+    setQuietLogging(false);
+}
+
+TEST(ExperimentSchedulerFaults, PlainExceptionInCellBodyIsContained)
+{
+    // Not every failure arrives as a RecoverableError: a cell body
+    // throwing any std::exception is classified as cell_failed and
+    // contained the same way.
+    setQuietLogging(true);
+    ExperimentScheduler sched(2);
+    std::vector<CellTiming> timings;
+    auto results = sched.mapCells<int>(
+        twoWorkloads(), twoConfigs(),
+        [](Experiment &exp, const sim::GpuConfig &cfg) -> int {
+            if (exp.workload().name == "DS2" &&
+                cfg.name == sim::GpuConfig::config2().name)
+                throw std::runtime_error("synthetic body failure");
+            return 7;
+        },
+        ExperimentScheduler::Snapshots{}, &timings);
+
+    ASSERT_EQ(results.size(), 4u);
+    const std::size_t bad = 1 * 2 + 1;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i == bad ? 0 : 7) << "cell " << i;
+    EXPECT_TRUE(timings[bad].outcome.failed);
+    EXPECT_NE(timings[bad].outcome.error.find("cell_failed"),
+              std::string::npos);
+    EXPECT_NE(timings[bad].outcome.error.find("synthetic body failure"),
+              std::string::npos);
+    setQuietLogging(false);
 }
 
 } // anonymous namespace

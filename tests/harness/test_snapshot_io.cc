@@ -16,6 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/bytestream.hh"
+#include "common/fault_injection.hh"
+#include "common/logging.hh"
 #include "harness/snapshot_io.hh"
 #include "harness/snapshot_registry.hh"
 
@@ -400,11 +403,12 @@ TEST(SnapshotRegistryEviction, UncappedStoreKeepsEverything)
     EXPECT_EQ(reg.stats().storeEvictions, 0u);
 }
 
-TEST(SnapshotRegistryDeathTest, RejectsForeignFileUnderKey)
+TEST(SnapshotRegistryDeathTest, StrictModeRejectsForeignFileUnderKey)
 {
     // Plant a DS2 snapshot at the file name GNMT's key hashes to --
-    // a corrupted shared store. The registry must reject it loudly,
-    // never hand GNMT cells DS2 state.
+    // a corrupted shared store. In strict mode (the CI escape hatch)
+    // the registry must reject it loudly, never hand GNMT cells DS2
+    // state and never paper over it with a rebuild.
     std::string dir = tmpPath("store_foreign");
     fs::remove_all(dir); // stale stores from earlier runs
     fs::create_directories(dir);
@@ -417,11 +421,316 @@ TEST(SnapshotRegistryDeathTest, RejectsForeignFileUnderKey)
         (fs::path(dir) / gnmt_key.fileName()).string()));
 
     SnapshotRegistry reg(dir);
+    reg.setStrict(true);
     EXPECT_DEATH(
         (void)reg.acquire([] { return makeGnmtWorkload(); },
                           sim::GpuConfig::config1(), 1),
         "workload");
     EXPECT_DEATH((void)reg.cached(gnmt_key), "workload");
+}
+
+/** Header layout constants of a store file (see snapshot_io.cc). */
+constexpr size_t kHeaderBytes = 24; // u32 magic, u32 ver, u64 sz, u64 ck
+
+/**
+ * Rebuild a valid header over `payload` -- for crafting files whose
+ * checksum passes but whose payload fails the structural decode.
+ */
+std::string
+frameWithValidHeader(const std::string &payload)
+{
+    ByteWriter header;
+    header.u32(0x53505153u); // "SQPS"
+    header.u32(kSnapshotFormatVersion);
+    header.u64(payload.size());
+    header.u64(fnv1a64Words(payload));
+    return header.data() + payload;
+}
+
+/** Every corruption of one good file the loader must classify. */
+struct Corruption {
+    const char *label;
+    std::string bytes;      ///< File content to plant.
+    ErrorCode expect;       ///< tryLoadSnapshot classification.
+    const char *msg;        ///< Substring of the error message.
+};
+
+std::vector<Corruption>
+corruptionsOf(const std::string &good)
+{
+    std::vector<Corruption> out;
+
+    std::string bad_magic = good;
+    bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5a);
+    out.push_back({"bad magic", bad_magic, ErrorCode::Corruption,
+                   "not a snapshot"});
+
+    std::string bad_version = good;
+    bad_version[4] = static_cast<char>(bad_version[4] + 1);
+    out.push_back({"bad version", bad_version,
+                   ErrorCode::VersionMismatch, "format version"});
+
+    out.push_back({"truncated header", good.substr(0, kHeaderBytes / 2),
+                   ErrorCode::Corruption, "truncated"});
+
+    out.push_back({"truncated payload", good.substr(0, good.size() - 8),
+                   ErrorCode::Corruption, "truncated or corrupted"});
+
+    std::string flipped = good;
+    flipped[good.size() / 2] =
+        static_cast<char>(flipped[good.size() / 2] ^ 0x01);
+    out.push_back({"flipped payload byte", flipped,
+                   ErrorCode::Corruption, "checksum mismatch"});
+
+    // A checksum-valid frame over a structurally broken payload: the
+    // recoverable decode path itself must classify it.
+    std::string payload = good.substr(kHeaderBytes);
+    out.push_back({"decode failure under valid checksum",
+                   frameWithValidHeader(
+                       payload.substr(0, payload.size() - 1)),
+                   ErrorCode::Corruption, "truncated"});
+
+    return out;
+}
+
+TEST(SnapshotIoTryLoad, ClassifiesEveryCorruption)
+{
+    auto snap = tinySnapshot("wl-try");
+    SnapshotKey key = snapshotKeyOf(*snap);
+    std::string path = tmpPath("tryload_victim.bin");
+    ASSERT_TRUE(saveSnapshot(*snap, path));
+    std::string good = readFile(path);
+    ASSERT_GT(good.size(), kHeaderBytes);
+
+    // The pristine file loads; a missing file is an OK miss.
+    auto ok = tryLoadSnapshot(path, &key);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(ok.value() != nullptr);
+    auto missing = tryLoadSnapshot(tmpPath("tryload_nonexistent.bin"));
+    ASSERT_TRUE(missing.ok());
+    EXPECT_EQ(missing.value(), nullptr);
+
+    for (const Corruption &c : corruptionsOf(good)) {
+        writeFile(path, c.bytes);
+        auto result = tryLoadSnapshot(path, &key);
+        ASSERT_FALSE(result.ok()) << c.label;
+        EXPECT_EQ(result.status().code(), c.expect) << c.label;
+        EXPECT_NE(result.status().message().find(c.msg),
+                  std::string::npos)
+            << c.label << ": " << result.status().message();
+    }
+
+    // Identity mismatches on a pristine file are Corruption too: the
+    // store handed back bytes that are not what the name promises.
+    writeFile(path, good);
+    SnapshotKey foreign = key;
+    foreign.workload = "other";
+    auto mismatch = tryLoadSnapshot(path, &foreign);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_EQ(mismatch.status().code(), ErrorCode::Corruption);
+}
+
+TEST(SnapshotRegistryDegrade, QuarantinesEveryCorruptionAndRebuilds)
+{
+    std::string dir = tmpPath("store_degrade");
+    setQuietLogging(true);
+    auto snap = tinySnapshot("wl-degrade");
+    SnapshotKey key = snapshotKeyOf(*snap);
+    std::string path;
+    std::string good;
+    {
+        fs::remove_all(dir);
+        SnapshotRegistry writer(dir);
+        writer.acquire(key, [&] { return snap; });
+        path = tinyPath(dir, "wl-degrade");
+        good = readFile(path);
+    }
+
+    uint64_t expected_quarantines = 0;
+    for (const Corruption &c : corruptionsOf(good)) {
+        fs::remove(path + ".corrupt");
+        writeFile(path, c.bytes);
+
+        // A fresh registry (no memory hit) must degrade: rebuild via
+        // the builder, quarantine the bad file, and leave a clean
+        // rewrite under the original name.
+        SnapshotRegistry reg(dir);
+        auto got = reg.acquire(key, [&] { return snap; });
+        ASSERT_TRUE(got != nullptr) << c.label;
+        EXPECT_EQ(encodeSnapshotPayload(*got),
+                  encodeSnapshotPayload(*snap))
+            << c.label;
+        EXPECT_EQ(reg.stats().builds, 1u) << c.label;
+        EXPECT_EQ(reg.stats().quarantines, 1u) << c.label;
+        ++expected_quarantines;
+        EXPECT_TRUE(fs::exists(path + ".corrupt")) << c.label;
+        EXPECT_EQ(readFile(path + ".corrupt"), c.bytes) << c.label;
+        EXPECT_EQ(readFile(path), good) << c.label;
+    }
+    ASSERT_GT(expected_quarantines, 0u);
+    setQuietLogging(false);
+}
+
+TEST(SnapshotRegistryDegrade, ForeignFileIsQuarantinedNotFatal)
+{
+    std::string dir = tmpPath("store_degrade_foreign");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    setQuietLogging(true);
+
+    // Plant wl-b's bytes under wl-a's name (a mis-assembled store).
+    auto snap_a = tinySnapshot("wl-a");
+    auto snap_b = tinySnapshot("wl-b");
+    std::string path_a = tinyPath(dir, "wl-a");
+    ASSERT_TRUE(saveSnapshot(*snap_b, path_a));
+
+    SnapshotRegistry reg(dir);
+    auto got = reg.acquire(snapshotKeyOf(*snap_a),
+                           [&] { return snap_a; });
+    ASSERT_TRUE(got != nullptr);
+    EXPECT_EQ(got->workload, "wl-a");
+    EXPECT_EQ(reg.stats().builds, 1u);
+    EXPECT_EQ(reg.stats().quarantines, 1u);
+    EXPECT_TRUE(fs::exists(path_a + ".corrupt"));
+    setQuietLogging(false);
+}
+
+TEST(SnapshotRegistryDegrade, QuarantinedFilesAreInvisibleToTheCap)
+{
+    std::string dir = tmpPath("store_degrade_cap");
+    fs::remove_all(dir);
+    setQuietLogging(true);
+
+    uint64_t one;
+    {
+        SnapshotRegistry sizing(dir);
+        putTiny(sizing, "wl-a");
+        one = fs::file_size(tinyPath(dir, "wl-a"));
+    }
+    fs::remove_all(dir);
+
+    SnapshotRegistry reg(dir, 2 * one + one / 2);
+    putTiny(reg, "wl-a");
+
+    // Corrupt wl-a's file; re-acquiring through a fresh registry
+    // quarantines it. The .corrupt file must neither count toward
+    // the cap nor ever be evicted by it.
+    std::string path_a = tinyPath(dir, "wl-a");
+    std::string good = readFile(path_a);
+    std::string bad = good;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 1);
+    writeFile(path_a, bad);
+
+    SnapshotRegistry reg2(dir, 2 * one + one / 2);
+    putTiny(reg2, "wl-a");
+    ASSERT_TRUE(fs::exists(path_a + ".corrupt"));
+
+    ageFile(path_a, 24);
+    ageFile(path_a + ".corrupt", 72); // oldest file in the store
+    putTiny(reg2, "wl-b");
+    putTiny(reg2, "wl-c");
+
+    // wl-a (oldest .bin) was evicted to fit the cap; the older
+    // .corrupt file was skipped entirely.
+    EXPECT_FALSE(fs::exists(path_a));
+    EXPECT_TRUE(fs::exists(path_a + ".corrupt"));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-b")));
+    EXPECT_TRUE(fs::exists(tinyPath(dir, "wl-c")));
+    EXPECT_GE(reg2.stats().storeEvictions, 1u);
+    setQuietLogging(false);
+}
+
+TEST(SnapshotIoFaults, InjectedPartialWriteNeverCreatesTheFile)
+{
+    FaultInjector::instance().reset();
+    setQuietLogging(true);
+    std::string path = tmpPath("faulted_save.bin");
+    fs::remove(path);
+    auto snap = tinySnapshot("wl-faultsave");
+
+    // First save hits the injected fault: the destination name must
+    // never appear, only a partial temp file (the simulated corpse of
+    // a writer that died mid-stream).
+    FaultInjector::instance().armAt("snapshot_io.write", path, {1});
+    EXPECT_FALSE(saveSnapshot(*snap, path));
+    EXPECT_FALSE(fs::exists(path));
+    bool tmp_corpse = false;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(path).parent_path())) {
+        if (entry.path().string().find("faulted_save.bin.tmp") !=
+            std::string::npos) {
+            tmp_corpse = true;
+            // The corpse is strictly smaller than a full file.
+            EXPECT_LT(entry.file_size(),
+                      frameWithValidHeader(
+                          encodeSnapshotPayload(*snap)).size());
+        }
+    }
+    EXPECT_TRUE(tmp_corpse);
+    EXPECT_EQ(FaultInjector::instance().fired("snapshot_io.write"), 1u);
+
+    // The rule is spent: the retry saves atomically and loads clean.
+    EXPECT_TRUE(saveSnapshot(*snap, path));
+    SnapshotKey key = snapshotKeyOf(*snap);
+    auto loaded = tryLoadSnapshot(path, &key);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded.value() != nullptr);
+    FaultInjector::instance().reset();
+    setQuietLogging(false);
+}
+
+TEST(SnapshotIoFaults, InjectedReadFaultDegradesToRebuild)
+{
+    FaultInjector::instance().reset();
+    setQuietLogging(true);
+    std::string dir = tmpPath("store_fault_read");
+    fs::remove_all(dir);
+    auto snap = tinySnapshot("wl-faultread");
+    SnapshotKey key = snapshotKeyOf(*snap);
+    {
+        SnapshotRegistry writer(dir);
+        writer.acquire(key, [&] { return snap; });
+    }
+
+    // The first read of this file fails (injected IoError): a fresh
+    // registry quarantines and rebuilds; the next fresh registry
+    // (rule spent) takes a disk hit on the rewritten file.
+    std::string path = tinyPath(dir, "wl-faultread");
+    FaultInjector::instance().armAt("snapshot_io.read", path, {1});
+    SnapshotRegistry reg(dir);
+    auto got = reg.acquire(key, [&] { return snap; });
+    ASSERT_TRUE(got != nullptr);
+    EXPECT_EQ(reg.stats().builds, 1u);
+    EXPECT_EQ(reg.stats().quarantines, 1u);
+
+    SnapshotRegistry reg2(dir);
+    EXPECT_TRUE(reg2.cached(key) != nullptr);
+    EXPECT_EQ(reg2.stats().diskHits, 1u);
+    FaultInjector::instance().reset();
+    setQuietLogging(false);
+}
+
+TEST(SnapshotIoFaults, InjectedSaveFaultSkipsPersistOnly)
+{
+    FaultInjector::instance().reset();
+    setQuietLogging(true);
+    std::string dir = tmpPath("store_fault_save");
+    fs::remove_all(dir);
+    auto snap = tinySnapshot("wl-faultpersist");
+    SnapshotKey key = snapshotKeyOf(*snap);
+
+    FaultInjector::instance().armAt("registry.save", key.fileName(),
+                                    {1});
+    SnapshotRegistry reg(dir);
+    auto got = reg.acquire(key, [&] { return snap; });
+    ASSERT_TRUE(got != nullptr);
+    EXPECT_EQ(reg.stats().builds, 1u);
+    // The build was served but never persisted.
+    EXPECT_FALSE(fs::exists(tinyPath(dir, "wl-faultpersist")));
+    // In-process consumers still hit memory.
+    EXPECT_TRUE(reg.cached(key) != nullptr);
+    FaultInjector::instance().reset();
+    setQuietLogging(false);
 }
 
 } // anonymous namespace
