@@ -757,6 +757,8 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"bit_identical\": %s,\n",
                  identical ? "true" : "false");
     std::fprintf(f, "  \"scheduler\": {\n");
+    std::fprintf(f, "    \"hw_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "    \"workloads\": %zu,\n", workloads.size());
     std::fprintf(f, "    \"configs\": %zu,\n", configs.size());
     std::fprintf(f, "    \"serial_sec\": %.6f,\n", serial_sec);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A bounded MPMC queue for admission control: producers tryPush and
+ * get an immediate refusal when the queue is full or closed (the
+ * service turns that into an `overloaded` Status) instead of blocking
+ * or growing unboundedly; consumers block in pop until an item
+ * arrives or the queue is closed and drained. close() is the drain
+ * primitive -- it stops admission immediately while letting consumers
+ * finish everything already accepted.
+ */
+
+#ifndef SEQPOINT_COMMON_BOUNDED_QUEUE_HH
+#define SEQPOINT_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace seqpoint {
+
+/** Fixed-capacity multi-producer multi-consumer FIFO. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /**
+     * Construct a queue.
+     *
+     * @param capacity Maximum queued items (> 0).
+     */
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        panic_if(capacity == 0, "BoundedQueue: capacity must be > 0");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Non-blocking push.
+     *
+     * @param item Item to enqueue (moved from on success).
+     * @return True when accepted; false when full or closed (the
+     *         caller sheds the item).
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (closed_ || items.size() >= capacity_)
+                return false;
+            items.push_back(std::move(item));
+        }
+        cvPop.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking pop.
+     *
+     * @return The oldest item, or nullopt once the queue is closed
+     *         and fully drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cvPop.wait(lock, [this] { return closed_ || !items.empty(); });
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+    /**
+     * Stop admission: every later tryPush fails, every pop after the
+     * drain returns nullopt, all blocked consumers wake. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            closed_ = true;
+        }
+        cvPop.notify_all();
+    }
+
+    /** @return True once close() was called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return closed_;
+    }
+
+    /** @return Items currently queued. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return items.size();
+    }
+
+    /** @return The fixed capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    std::deque<T> items;
+    mutable std::mutex mu;
+    std::condition_variable cvPop;
+    bool closed_ = false;
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_BOUNDED_QUEUE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Cancellation context implementation: the monotonic clock and the
+ * per-thread current-token slot.
+ */
+
+#include "common/cancel.hh"
+
+#include <chrono>
+
+namespace seqpoint {
+
+namespace {
+
+thread_local const CancelToken *tlsToken = nullptr;
+
+} // anonymous namespace
+
+double
+CancelToken::now()
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+CancelScope::CancelScope(const CancelToken *token) : previous(tlsToken)
+{
+    tlsToken = token;
+}
+
+CancelScope::~CancelScope()
+{
+    tlsToken = previous;
+}
+
+const CancelToken *
+currentCancelToken()
+{
+    return tlsToken;
+}
+
+} // namespace seqpoint

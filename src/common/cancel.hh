@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running work: a CancelToken a
+ * request owner arms (explicitly, or through a deadline) and the
+ * expensive loops poll at checkpoints. A fired checkpoint unwinds by
+ * throwing CancelledError -- a RecoverableError subclass carrying a
+ * classified Status (Timeout for an expired deadline, Cancelled for
+ * an explicit cancel) -- so the containment layers that already speak
+ * Status can report it, while boundaries that must not *absorb* a
+ * cancellation (snapshot loads that would otherwise quarantine a
+ * healthy file, scheduler cells that would otherwise burn retries)
+ * catch the subclass first and rethrow.
+ *
+ * Checkpoints reach code that was never written to take a token
+ * parameter (profiler sweeps, snapshot decode) through a thread-local
+ * current token installed by CancelScope. With no scope installed a
+ * checkpoint is one thread-local load -- the production cost of the
+ * whole mechanism is nil until someone actually wants a deadline.
+ * Fan-out helpers (ThreadPool::parallelFor bodies) must re-install
+ * the scope on the worker thread; Profiler's sweep does.
+ */
+
+#ifndef SEQPOINT_COMMON_CANCEL_HH
+#define SEQPOINT_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <limits>
+#include <string>
+
+#include "common/status.hh"
+
+namespace seqpoint {
+
+/**
+ * Cancellation unwinding through code not written in Result style.
+ * Subclasses RecoverableError so generic containment still classifies
+ * it; boundaries that must pass cancellation through catch this type
+ * first and rethrow.
+ */
+class CancelledError : public RecoverableError
+{
+  public:
+    using RecoverableError::RecoverableError;
+};
+
+/**
+ * One request's cancellation state: an explicit cancel flag plus an
+ * optional deadline on the monotonic clock. Shared by reference
+ * between the owner (who cancels) and the workers (who poll); all
+ * members are atomics, so concurrent cancel/poll is race-free.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** @return Monotonic now in seconds (the deadline clock). */
+    static double now();
+
+    /** Request cancellation (sticky; thread-safe). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Arm a deadline.
+     *
+     * @param deadline_sec Absolute monotonic time (CancelToken::now()
+     *        base) after which the token reads as fired; infinity
+     *        disarms.
+     */
+    void
+    setDeadline(double deadline_sec)
+    {
+        deadline_.store(deadline_sec, std::memory_order_relaxed);
+    }
+
+    /** Arm a deadline `seconds` from now (<= 0 fires immediately). */
+    void armAfter(double seconds) { setDeadline(now() + seconds); }
+
+    /** @return The armed deadline (infinity when none). */
+    double
+    deadline() const
+    {
+        return deadline_.load(std::memory_order_relaxed);
+    }
+
+    /** @return True when cancelled or past the deadline. */
+    bool
+    fired() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        return now() > deadline_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * @return The classified reason: Cancelled for an explicit
+     *         cancel, Timeout for an expired deadline, OK otherwise.
+     */
+    Status
+    status(const std::string &what = "") const
+    {
+        if (cancelled_.load(std::memory_order_relaxed)) {
+            return Status::error(ErrorCode::Cancelled,
+                                 what.empty() ? "cancelled"
+                                              : what + ": cancelled");
+        }
+        if (now() > deadline_.load(std::memory_order_relaxed)) {
+            return Status::error(ErrorCode::Timeout,
+                                 what.empty()
+                                     ? "deadline exceeded"
+                                     : what + ": deadline exceeded");
+        }
+        return Status();
+    }
+
+    /**
+     * Throw CancelledError when fired; no-op otherwise.
+     *
+     * @param site Name of the checkpoint (error-message context).
+     */
+    void
+    checkpoint(const char *site) const
+    {
+        if (fired())
+            throw CancelledError(status(site));
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<double> deadline_{
+        std::numeric_limits<double>::infinity()};
+};
+
+/**
+ * Install `token` as the calling thread's current cancellation
+ * context for this scope (restoring the previous one on exit, so
+ * scopes nest). Null is allowed and clears the context.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(const CancelToken *token);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    const CancelToken *previous;
+};
+
+/** @return The calling thread's current token (null when none). */
+const CancelToken *currentCancelToken();
+
+/**
+ * Checkpoint against the thread's current token: throws
+ * CancelledError when an installed token has fired; a bare
+ * thread-local load when no scope is installed. Sprinkled through the
+ * expensive loops (profiling sweep, epoch assembly, snapshot decode,
+ * scheduler cells).
+ *
+ * @param site Name of the checkpoint (error-message context).
+ */
+inline void
+cancelCheckpoint(const char *site)
+{
+    if (const CancelToken *token = currentCancelToken())
+        token->checkpoint(site);
+}
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_CANCEL_HH

@@ -40,6 +40,9 @@ enum class ErrorCode {
     VersionMismatch, ///< Artifact from another format generation.
     CellFailed,      ///< A scheduler cell failed after its retries.
     Timeout,         ///< An operation exceeded its deadline.
+    Overloaded,      ///< Admission control shed the request (queue
+                     ///< full or service draining).
+    Cancelled,       ///< The caller explicitly cancelled the work.
 };
 
 /** @return Stable lower-case name of an error code ("io_error"...). */
@@ -53,6 +56,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::VersionMismatch: return "version_mismatch";
       case ErrorCode::CellFailed: return "cell_failed";
       case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::Cancelled: return "cancelled";
     }
     return "unknown";
 }

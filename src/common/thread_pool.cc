@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
+
+#include "common/cancel.hh"
 
 namespace seqpoint {
 
@@ -30,6 +33,18 @@ ThreadPool::~ThreadPool()
     cvTask.notify_all();
     for (std::thread &t : workers)
         t.join();
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    // Intentionally leaked: a destructor run at exit would join the
+    // worker threads, and a forked child (death tests, a crashing
+    // fatal() path after fork) inherits the pool object but not its
+    // threads -- the join would hang forever on phantom thread ids.
+    // Process exit reclaims the workers either way.
+    static ThreadPool *pool = new ThreadPool();
+    return *pool;
 }
 
 void
@@ -91,62 +106,98 @@ ThreadPool::wait()
     }
 }
 
+namespace {
+
+/**
+ * Everything a parallelFor fan-out shares between the caller and the
+ * enqueued helpers, owned by shared_ptr so a helper that only gets
+ * scheduled after the caller already finished the range (possible on
+ * a busy shared pool) touches live memory and no-ops instead of
+ * dereferencing the caller's dead stack frame.
+ */
+struct ForState
+{
+    std::size_t count;
+    std::function<void(std::size_t)> fn;
+    const CancelToken *token; ///< Caller's cancel context to re-install.
+    std::atomic<std::size_t> next{0};     ///< Next unclaimed index.
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t finished = 0;             ///< Indices fully executed.
+    std::exception_ptr firstErr;
+
+    /**
+     * Claim-and-run loop, shared by the caller and the helpers. A
+     * throwing index is recorded (first wins) and still counted
+     * finished so draining continues: the caller alone can always
+     * complete the range even when no helper ever runs.
+     */
+    void
+    drain()
+    {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            std::exception_ptr err;
+            try {
+                fn(i);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            if (err && !firstErr)
+                firstErr = err;
+            if (++finished == count)
+                done.notify_all();
+        }
+    }
+};
+
+} // anonymous namespace
+
 void
 ThreadPool::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &fn)
+                        const std::function<void(std::size_t)> &fn,
+                        unsigned width)
 {
     if (count == 0)
         return;
-    if (count == 1) {
-        fn(0);
+    if (count == 1 || size() == 0 || width == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
         return;
     }
 
-    // Each participant pulls the next unclaimed index; the caller
-    // joins in so a single-threaded pool still makes progress while
-    // workers are busy elsewhere. A participant whose index throws
-    // records the exception and stops draining, but always counts
-    // itself done -- otherwise the completion wait below would hang
-    // forever on the first throwing task.
-    auto next = std::make_shared<std::atomic<std::size_t>>(0);
-    std::mutex err_mu;
-    std::exception_ptr first_err;
-    auto drain = [next, count, &fn, &err_mu, &first_err] {
-        try {
-            for (;;) {
-                std::size_t i = next->fetch_add(1);
-                if (i >= count)
-                    return;
-                fn(i);
-            }
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(err_mu);
-            if (!first_err)
-                first_err = std::current_exception();
-        }
-    };
+    auto state = std::make_shared<ForState>();
+    state->count = count;
+    state->fn = fn;
+    state->token = currentCancelToken();
 
-    std::size_t jobs = std::min<std::size_t>(workers.size(), count);
-    std::atomic<std::size_t> done{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    for (std::size_t j = 0; j < jobs; ++j) {
-        run([&] {
-            drain();
-            std::lock_guard<std::mutex> lock(done_mu);
-            ++done;
-            done_cv.notify_one();
+    // Helpers are opportunistic: completion is "every index finished",
+    // not "every helper ran", so the caller never waits on queue slots
+    // that a saturated pool (e.g. a nested fan-out) can't free up. Any
+    // helper that runs late finds next >= count and returns without
+    // touching fn.
+    std::size_t helpers = std::min<std::size_t>(size(), count - 1);
+    if (width > 1)
+        helpers = std::min<std::size_t>(helpers, width - 1);
+    for (std::size_t j = 0; j < helpers; ++j) {
+        run([state] {
+            CancelScope scope(state->token);
+            state->drain();
         });
     }
 
-    drain();
+    state->drain();
 
-    {
-        std::unique_lock<std::mutex> lock(done_mu);
-        done_cv.wait(lock, [&] { return done == jobs; });
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] { return state->finished == count; });
+    if (state->firstErr) {
+        std::exception_ptr err = std::exchange(state->firstErr, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
     }
-    if (first_err)
-        std::rethrow_exception(first_err);
 }
 
 } // namespace seqpoint

@@ -6,6 +6,15 @@
  * invokes fn(0..n-1) exactly once each, so any per-task randomness can
  * be derived from the index (e.g. Rng::fork(index)) and results are
  * bit-identical to a serial loop regardless of scheduling.
+ *
+ * A process-wide pool (ThreadPool::shared()) exists so hot paths that
+ * fan out repeatedly (the scheduler's per-cell profiling sweeps, the
+ * service's concurrent cold starts) do not pay thread creation and
+ * teardown per call. parallelFor is safe to nest on the shared pool:
+ * the calling thread always drains indices itself and the enqueued
+ * worker helpers are purely opportunistic, so an inner fan-out on a
+ * fully-busy pool degrades to the caller running every index serially
+ * instead of deadlocking.
  */
 
 #ifndef SEQPOINT_COMMON_THREAD_POOL_HH
@@ -40,6 +49,13 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /**
+     * The process-wide pool, created on first use with the hardware
+     * concurrency. Callers that fan out repeatedly should use this
+     * instead of constructing (and joining) a private pool per sweep.
+     */
+    static ThreadPool &shared();
+
     /** @return Number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
 
@@ -67,16 +83,29 @@ class ThreadPool
      * and the calling thread; returns when all are done. Tasks must
      * derive any randomness from their index to stay deterministic.
      *
-     * A throwing index stops only its own participant's draining; the
-     * remaining indices still run on the other participants, and the
-     * first exception is rethrown once every index has been claimed
-     * and finished.
+     * The calling thread always participates and can complete the
+     * whole range alone; enqueued worker helpers only accelerate the
+     * drain. This makes nested parallelFor on the shared pool safe
+     * (no wait on queue slots that can never free up). The caller's
+     * cancellation context (common/cancel.hh) is re-installed on the
+     * helper threads, so cancelCheckpoint() inside fn observes the
+     * caller's token no matter which thread runs the index.
+     *
+     * An index that throws is recorded (first exception wins) and
+     * counted finished; draining continues so every index is invoked
+     * exactly once, then the recorded exception is rethrown in the
+     * caller.
      *
      * @param count Index range size.
      * @param fn Task body, given the task index.
+     * @param width Max concurrent participants including the caller
+     *              (0 = no cap beyond the pool size). Lets a caller
+     *              that holds most of the pool's workers keep a lid
+     *              on oversubscription for an inner fan-out.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn,
+                     unsigned width = 0);
 
   private:
     std::vector<std::thread> workers;

@@ -54,8 +54,10 @@ ExperimentScheduler::forEachCell(
         return;
     }
 
-    ThreadPool pool(numThreads);
-    pool.parallelFor(cells, body);
+    // The process-wide pool, capped at this sweep's width: repeated
+    // sweeps (the service's steady state) pay no thread setup and
+    // teardown per sweep, which used to dominate small cell counts.
+    ThreadPool::shared().parallelFor(cells, body, numThreads);
 }
 
 namespace {

@@ -1,8 +1,10 @@
 /**
  * @file
  * Parallel experiment scheduler: runs independent
- * (workload x configuration) sweep cells concurrently on a ThreadPool
- * private to each sweep. Every cell gets its own Experiment (and
+ * (workload x configuration) sweep cells concurrently on the
+ * process-wide ThreadPool (capped at the sweep's configured width, so
+ * repeated sweeps pay no thread setup). Every cell gets its own
+ * Experiment (and
  * therefore its own per-config ConfigStates, timing caches and
  * autotuner), so cells never share mutable state; results merge in
  * deterministic workload-major, config-minor order and are
@@ -12,14 +14,18 @@
 #ifndef SEQPOINT_HARNESS_SCHEDULER_HH
 #define SEQPOINT_HARNESS_SCHEDULER_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
@@ -127,14 +133,56 @@ class ExperimentScheduler
     /**
      * Delay before each retry of a failing cell (a real store race or
      * NFS hiccup needs a moment to clear; injected faults in tests
-     * want 0).
+     * want 0), with optional deterministic jitter so cells felled by
+     * the same fault storm don't all hammer the registry again on the
+     * same beat.
      *
-     * @param seconds Sleep before retry attempt n+1, in seconds.
+     * @param seconds Base sleep before retry attempt n+1, in seconds.
+     * @param jitter_frac Jitter amplitude as a fraction of `seconds`:
+     *        each (cell, attempt) sleeps seconds * u with u uniform
+     *        in [1-j, 1+j], derived from `seed` and the cell's
+     *        coordinates -- reproducible across runs and thread
+     *        counts, but decorrelated across cells. 0 disables.
+     * @param seed Jitter derivation seed.
      */
-    void setRetryBackoff(double seconds) { backoffSec = seconds; }
+    void
+    setRetryBackoff(double seconds, double jitter_frac = 0.0,
+                    uint64_t seed = 0x5eedba11u)
+    {
+        backoffSec = seconds;
+        jitterFrac = jitter_frac;
+        jitterSeed = seed;
+    }
 
-    /** @return Sleep before each retry, in seconds. */
+    /** @return Base sleep before each retry, in seconds. */
     double retryBackoffSec() const { return backoffSec; }
+
+    /** @return Jitter amplitude fraction (0 = no jitter). */
+    double retryJitterFrac() const { return jitterFrac; }
+
+    /**
+     * The actual (jittered) sleep before retry `attempt` of cell
+     * (w, c): a pure function of the configured backoff, jitter seed
+     * and the cell coordinates. Exposed so tests can assert
+     * reproducibility without racing real clocks.
+     */
+    double
+    retryDelaySec(std::size_t w, std::size_t c, unsigned attempt) const
+    {
+        if (backoffSec <= 0.0)
+            return 0.0;
+        if (jitterFrac <= 0.0)
+            return backoffSec;
+        // One independent PCG stream per (cell, attempt): fully
+        // deterministic, and adjacent cells land on decorrelated
+        // points of [1-j, 1+j].
+        Rng rng(jitterSeed,
+                (static_cast<uint64_t>(w) << 42) ^
+                    (static_cast<uint64_t>(c) << 21) ^ attempt);
+        double u = rng.uniformDouble(1.0 - jitterFrac,
+                                     1.0 + jitterFrac);
+        return std::max(0.0, backoffSec * u);
+    }
 
     /**
      * Per-workload shared cold-start snapshots for mapCells(): either
@@ -209,6 +257,7 @@ class ExperimentScheduler
                 for (unsigned attempt = 1;; ++attempt) {
                     outcome.attempts = attempt;
                     try {
+                        cancelCheckpoint("scheduler.cell");
                         faultPoint("scheduler.cell",
                                    csprintf("%zu/%zu", w, c));
                         double s0 = wallNow();
@@ -221,6 +270,13 @@ class ExperimentScheduler
                         setup_sec = wallNow() - s0;
                         results[cell] = eval(exp, configs[c]);
                         break;
+                    } catch (const CancelledError &) {
+                        // Cancellation is the caller's verdict on the
+                        // whole sweep, not a cell fault: retrying
+                        // would burn attempts on a dead request, and
+                        // recording it as failed would misclassify
+                        // it. Let it unwind to the sweep's caller.
+                        throw;
                     } catch (const RecoverableError &e) {
                         outcome.error = e.status().toString();
                     } catch (const std::exception &e) {
@@ -239,7 +295,7 @@ class ExperimentScheduler
                     warn("scheduler: cell %zu/%zu attempt %u failed "
                          "(%s); retrying",
                          w, c, attempt, outcome.error.c_str());
-                    backoffSleep(backoffSec);
+                    backoffSleep(retryDelaySec(w, c, attempt));
                 }
                 if (timings) {
                     (*timings)[cell].totalSec = wallNow() - t0;
@@ -359,6 +415,8 @@ class ExperimentScheduler
     unsigned cellProfileThreads = 1;
     unsigned cellRetries = 0;
     double backoffSec = 0.0;
+    double jitterFrac = 0.0;
+    uint64_t jitterSeed = 0x5eedba11u;
 
     /** Monotonic wall clock in seconds (cell-timing collection). */
     static double wallNow();

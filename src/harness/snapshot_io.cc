@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "common/bytestream.hh"
+#include "common/cancel.hh"
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -172,6 +173,7 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what,
     ByteReader r(payload, what, on_error);
     ModelSnapshot snap;
 
+    cancelCheckpoint("snapshot.decode");
     snap.workload = r.str();
     snap.config = sim::decodeGpuConfig(r);
     snap.dataset = r.str();
@@ -191,10 +193,17 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what,
     for (uint64_t i = 0; i < tuner_n; ++i)
         snap.tunerEntries.push_back(nn::decodeAutotuneEntry(r));
 
+    // The timing cache and the profile maps dominate decode time, so
+    // poll the cancel context between the heavy sections: a request
+    // whose deadline fires mid-decode unwinds here instead of holding
+    // its registry slot for the rest of the file.
+    cancelCheckpoint("snapshot.decode");
     snap.timingEntries = sim::decodeTimingSection(r);
 
+    cancelCheckpoint("snapshot.decode");
     snap.trainProfiles = decodeProfileMap(r);
     snap.inferProfiles = decodeProfileMap(r);
+    cancelCheckpoint("snapshot.decode");
 
     snap.log = prof::decodeTrainLog(r);
     snap.stats = core::decodeSlStats(r);
@@ -390,6 +399,11 @@ tryLoadSnapshot(const std::string &path, const SnapshotKey *expect)
             }
         }
         return SnapPtr(std::move(snap));
+    } catch (const CancelledError &) {
+        // Cancellation mid-decode says nothing about the file: it
+        // must reach the caller as cancellation, never be absorbed as
+        // a load failure (which the registry would quarantine).
+        throw;
     } catch (const RecoverableError &e) {
         // Structural decode failure inside a checksum-valid frame
         // (or a truncated frame caught by the reader's bounds check).

@@ -87,10 +87,8 @@ SnapshotRegistry::enforceStoreCap(const std::string &just_written)
             ++evicted;
         }
     }
-    if (evicted) {
-        std::lock_guard<std::mutex> stats_lock(mu);
-        stats_.storeEvictions += evicted;
-    }
+    if (evicted)
+        bumpStat(stats_.storeEvictions, evicted);
 }
 
 std::shared_ptr<SnapshotRegistry::Slot>
@@ -119,16 +117,14 @@ SnapshotRegistry::quarantine(const std::string &path)
         // make sure the bad name is gone either way.
         fs::remove(path, ec);
     }
-    std::lock_guard<std::mutex> lock(mu);
-    ++stats_.quarantines;
+    bumpStat(stats_.quarantines);
 }
 
 std::shared_ptr<const ModelSnapshot>
 SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
 {
     if (slot.snap) {
-        std::lock_guard<std::mutex> lock(mu);
-        ++stats_.memoryHits;
+        bumpStat(stats_.memoryHits);
         return slot.snap;
     }
     if (!dir.empty()) {
@@ -150,8 +146,7 @@ SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
                 // Refresh recency so a capped store evicts cold
                 // entries, not the ones CI replays every run.
                 touchStoreFile(path);
-                std::lock_guard<std::mutex> lock(mu);
-                ++stats_.diskHits;
+                bumpStat(stats_.diskHits);
                 return slot.snap;
             }
         } else if (strict_) {
@@ -204,8 +199,7 @@ SnapshotRegistry::acquire(
         }
     }
     slot->snap = std::move(snap);
-    std::lock_guard<std::mutex> lock(mu);
-    ++stats_.builds;
+    bumpStat(stats_.builds);
     return slot->snap;
 }
 
@@ -260,8 +254,62 @@ SnapshotRegistry::cached(const SnapshotKey &key)
 SnapshotRegistryStats
 SnapshotRegistry::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
-    return stats_;
+    // Counters are independent atomics, so a single pass could mix
+    // generations (e.g. see a build's save-side eviction without the
+    // build itself). Re-read until the generation stamp is stable and
+    // even the whole way through; under a constant increment storm,
+    // settle for the freshest full pass rather than spinning forever.
+    SnapshotRegistryStats out;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        uint64_t before = statsGen.load(std::memory_order_acquire);
+        out.memoryHits = stats_.memoryHits.load(std::memory_order_relaxed);
+        out.diskHits = stats_.diskHits.load(std::memory_order_relaxed);
+        out.builds = stats_.builds.load(std::memory_order_relaxed);
+        out.storeEvictions =
+            stats_.storeEvictions.load(std::memory_order_relaxed);
+        out.quarantines =
+            stats_.quarantines.load(std::memory_order_relaxed);
+        if (statsGen.load(std::memory_order_acquire) == before)
+            break;
+    }
+    return out;
+}
+
+std::size_t
+SnapshotRegistry::flushToStore()
+{
+    if (dir.empty())
+        return 0;
+
+    // Snapshot the slot table under the registry lock, then visit
+    // each slot under its own lock (waiting out any in-flight build)
+    // so a flush racing late workers still sees their results.
+    std::vector<std::pair<std::string, std::shared_ptr<Slot>>> all;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        all.assign(slots.begin(), slots.end());
+    }
+
+    std::size_t written = 0;
+    for (auto &[cache_key, slot] : all) {
+        std::lock_guard<std::mutex> slot_lock(slot->mu);
+        if (!slot->snap)
+            continue;
+        std::string path =
+            (fs::path(dir) / snapshotKeyOf(*slot->snap).fileName())
+                .string();
+        std::error_code ec;
+        if (fs::exists(path, ec))
+            continue; // already persisted at build time
+        if (saveSnapshot(*slot->snap, path)) {
+            ++written;
+            enforceStoreCap(path);
+        } else {
+            warn("SnapshotRegistry: flush could not persist '%s'",
+                 slot->snap->workload.c_str());
+        }
+    }
+    return written;
 }
 
 } // namespace harness

@@ -13,6 +13,7 @@
 #ifndef SEQPOINT_HARNESS_SNAPSHOT_REGISTRY_HH
 #define SEQPOINT_HARNESS_SNAPSHOT_REGISTRY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -158,8 +159,25 @@ class SnapshotRegistry
     /** @return True when a bad store file is fatal. */
     bool strict() const { return strict_; }
 
-    /** @return Hit/build accounting so far. */
+    /**
+     * @return Hit/build accounting so far: a consistent snapshot of
+     *         the counters (re-read until stable, so a reader racing
+     *         the worker threads never observes a torn mix of counter
+     *         generations; the counters themselves are atomics, so
+     *         the hot-path increments stay lock-free).
+     */
     SnapshotRegistryStats stats() const;
+
+    /**
+     * Persist every in-memory snapshot the store does not already
+     * hold (a build whose save failed or was faulted away leaves the
+     * memory cache ahead of the disk store). Called by the service's
+     * graceful drain; a no-op without a store directory. Save
+     * failures are warned about and skipped, never fatal.
+     *
+     * @return Number of snapshots written.
+     */
+    std::size_t flushToStore();
 
   private:
     /** One key's slot; its mutex serialises the single-flight build. */
@@ -174,7 +192,30 @@ class SnapshotRegistry
     mutable std::mutex mu;
     std::mutex storeMu; ///< Serialises store-wide eviction scans.
     std::map<std::string, std::shared_ptr<Slot>> slots;
-    SnapshotRegistryStats stats_;
+
+    /**
+     * Lock-free statistics: each counter is incremented atomically on
+     * its hot path, and `statsGen` is bumped around every increment
+     * so stats() can detect (and retry through) a torn multi-counter
+     * read.
+     */
+    struct AtomicStats {
+        std::atomic<uint64_t> memoryHits{0};
+        std::atomic<uint64_t> diskHits{0};
+        std::atomic<uint64_t> builds{0};
+        std::atomic<uint64_t> storeEvictions{0};
+        std::atomic<uint64_t> quarantines{0};
+    };
+    mutable AtomicStats stats_;
+    mutable std::atomic<uint64_t> statsGen{0};
+
+    /** Atomically add `n` to `counter` and bump the generation. */
+    void
+    bumpStat(std::atomic<uint64_t> &counter, uint64_t n = 1)
+    {
+        counter.fetch_add(n, std::memory_order_relaxed);
+        statsGen.fetch_add(1, std::memory_order_release);
+    }
 
     std::shared_ptr<Slot> slotFor(const SnapshotKey &key);
     std::string pathFor(const SnapshotKey &key) const;

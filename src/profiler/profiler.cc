@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hh"
 #include "common/logging.hh"
 
 namespace seqpoint {
@@ -107,19 +108,25 @@ Profiler::warmProfiles(const std::vector<int64_t> &sls, unsigned threads,
         return;
 
     if (threads <= 1 || todo.size() == 1) {
-        for (int64_t sl : todo)
+        for (int64_t sl : todo) {
+            cancelCheckpoint("profiler.warm");
             cache.emplace(sl, computeProfile(sl, train));
+        }
         return;
     }
 
-    // Fan out per SL (the pool exists only while there is work), then
-    // insert in ascending-SL order so the memo ends up in the same
-    // state a serial sweep would produce.
+    // Fan out per SL on the process-wide pool (creating and joining a
+    // private pool per sweep dominated small sweeps), capped at the
+    // requested width, then insert in ascending-SL order so the memo
+    // ends up in the same state a serial sweep would produce. The
+    // checkpoint observes the caller's cancel token on every
+    // participant (parallelFor re-installs the scope), so a deadline
+    // firing mid-sweep abandons the remaining SLs promptly.
     std::vector<IterationProfile> results(todo.size());
-    ThreadPool pool(threads);
-    pool.parallelFor(todo.size(), [&](std::size_t i) {
+    ThreadPool::shared().parallelFor(todo.size(), [&](std::size_t i) {
+        cancelCheckpoint("profiler.warm");
         results[i] = computeProfile(todo[i], train);
-    });
+    }, threads);
     for (std::size_t i = 0; i < todo.size(); ++i)
         cache.emplace(todo[i], std::move(results[i]));
 }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hh"
 #include "common/logging.hh"
 
 namespace seqpoint {
@@ -203,7 +204,10 @@ runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
             }
         }
     } else {
+        // Per-iteration profiling is the epoch's dominant cost, so
+        // this is where a deadline firing mid-epoch must be noticed.
         for (const data::Batch &b : batches) {
+            cancelCheckpoint("trainer.batch");
             const IterationProfile &p = profiler.profileIteration(b.seqLen);
             log.iterations.push_back(IterationLog{b.seqLen, p.timeSec});
             log.trainSec += p.timeSec;
@@ -211,6 +215,7 @@ runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
         }
 
         for (const data::Batch &b : eval_batches) {
+            cancelCheckpoint("trainer.batch");
             const IterationProfile &p = profiler.profileInference(b.seqLen);
             log.evalSec += p.timeSec * cfg.evalCostMultiplier;
         }
