@@ -12,14 +12,14 @@
 #ifndef SEQPOINT_COMMON_BOUNDED_QUEUE_HH
 #define SEQPOINT_COMMON_BOUNDED_QUEUE_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace seqpoint {
 
@@ -49,10 +49,10 @@ class BoundedQueue
      *         caller sheds the item).
      */
     bool
-    tryPush(T item)
+    tryPush(T item) SEQ_EXCLUDES(mu)
     {
         {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             if (closed_ || items.size() >= capacity_)
                 return false;
             items.push_back(std::move(item));
@@ -68,10 +68,11 @@ class BoundedQueue
      *         and fully drained.
      */
     std::optional<T>
-    pop()
+    pop() SEQ_EXCLUDES(mu)
     {
-        std::unique_lock<std::mutex> lock(mu);
-        cvPop.wait(lock, [this] { return closed_ || !items.empty(); });
+        MutexLock lock(mu);
+        while (!popReadyLocked())
+            cvPop.wait(mu);
         if (items.empty())
             return std::nullopt;
         T item = std::move(items.front());
@@ -84,10 +85,10 @@ class BoundedQueue
      * drain returns nullopt, all blocked consumers wake. Idempotent.
      */
     void
-    close()
+    close() SEQ_EXCLUDES(mu)
     {
         {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             closed_ = true;
         }
         cvPop.notify_all();
@@ -95,17 +96,17 @@ class BoundedQueue
 
     /** @return True once close() was called. */
     bool
-    closed() const
+    closed() const SEQ_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         return closed_;
     }
 
     /** @return Items currently queued. */
     std::size_t
-    size() const
+    size() const SEQ_EXCLUDES(mu)
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         return items.size();
     }
 
@@ -113,11 +114,18 @@ class BoundedQueue
     std::size_t capacity() const { return capacity_; }
 
   private:
+    /** @return True when pop() may return (item ready, or drained). */
+    bool
+    popReadyLocked() const SEQ_REQUIRES(mu)
+    {
+        return closed_ || !items.empty();
+    }
+
     const std::size_t capacity_;
-    std::deque<T> items;
-    mutable std::mutex mu;
-    std::condition_variable cvPop;
-    bool closed_ = false;
+    mutable Mutex mu;
+    std::deque<T> items SEQ_GUARDED_BY(mu);
+    CondVar cvPop;
+    bool closed_ SEQ_GUARDED_BY(mu) = false;
 };
 
 } // namespace seqpoint

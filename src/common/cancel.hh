@@ -48,6 +48,8 @@ class CancelledError : public RecoverableError
  * optional deadline on the monotonic clock. Shared by reference
  * between the owner (who cancels) and the workers (who poll); all
  * members are atomics, so concurrent cancel/poll is race-free.
+ * Deliberately lock-free: there is no mutex here, so thread-safety
+ * analysis has nothing to guard (see common/thread_annotations.hh).
  */
 class CancelToken
 {

@@ -49,7 +49,7 @@ FaultInjector::armAt(const std::string &site, const std::string &detail,
 {
     panic_if(code == ErrorCode::Ok,
              "FaultInjector::armAt: Ok is not a failure");
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     Rule rule;
     rule.site = site;
     rule.detail = detail;
@@ -69,7 +69,7 @@ FaultInjector::armSeeded(const std::string &site,
              "FaultInjector::armSeeded: Ok is not a failure");
     panic_if(!(rate >= 0.0 && rate <= 1.0),
              "FaultInjector::armSeeded: rate %f outside [0, 1]", rate);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     Rule rule;
     rule.site = site;
     rule.detail = detail;
@@ -85,7 +85,7 @@ FaultInjector::armSeeded(const std::string &site,
 void
 FaultInjector::reset()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     rules.clear();
     sites.clear();
     armedRules.store(0, std::memory_order_release);
@@ -94,7 +94,7 @@ FaultInjector::reset()
 uint64_t
 FaultInjector::fired(const std::string &site) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (const auto &entry : sites) {
         if (entry.first == site)
             return entry.second.fired;
@@ -105,7 +105,7 @@ FaultInjector::fired(const std::string &site) const
 uint64_t
 FaultInjector::occurrences(const std::string &site) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (const auto &entry : sites) {
         if (entry.first == site)
             return entry.second.occurrences;
@@ -120,7 +120,7 @@ FaultInjector::check(const std::string &site, const std::string &detail)
     if (armedRules.load(std::memory_order_acquire) == 0)
         return Status();
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     SiteStats &stats = siteStats(site);
     ++stats.occurrences;
 

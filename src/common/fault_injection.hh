@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "common/status.hh"
+#include "common/thread_annotations.hh"
 
 namespace seqpoint {
 
@@ -114,11 +116,12 @@ class FaultInjector
     };
 
     std::atomic<uint64_t> armedRules{0};
-    mutable std::mutex mu;
-    std::vector<Rule> rules;
-    std::vector<std::pair<std::string, SiteStats>> sites;
+    mutable Mutex mu;
+    std::vector<Rule> rules SEQ_GUARDED_BY(mu);
+    std::vector<std::pair<std::string, SiteStats>> sites
+        SEQ_GUARDED_BY(mu);
 
-    SiteStats &siteStats(const std::string &site);
+    SiteStats &siteStats(const std::string &site) SEQ_REQUIRES(mu);
 };
 
 /**

@@ -12,10 +12,10 @@
 
 namespace seqpoint {
 
-Histogram::Histogram(int64_t lo, int64_t hi, size_t buckets)
-    : lo(lo), hi(hi), counts(buckets, 0)
+Histogram::Histogram(int64_t lo_bound, int64_t hi_bound, size_t buckets)
+    : lo(lo_bound), hi(hi_bound), counts(buckets, 0)
 {
-    panic_if(hi < lo, "Histogram: hi < lo");
+    panic_if(hi_bound < lo_bound, "Histogram: hi < lo");
     panic_if(buckets == 0, "Histogram: zero buckets");
 }
 

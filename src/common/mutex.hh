@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Annotated synchronisation primitives: thin wrappers over std::mutex
+ * and std::condition_variable that carry the Clang Thread Safety
+ * Analysis capability attributes (thread_annotations.hh). libstdc++'s
+ * std::mutex is not annotated as a capability, so provable
+ * SEQ_GUARDED_BY annotations need this wrapper; it compiles to the
+ * identical code (every method is an inline forward).
+ *
+ * Idiom, mirrored from the annotated classes:
+ *
+ *     mutable Mutex mu;
+ *     int value SEQ_GUARDED_BY(mu);
+ *
+ *     void set(int v) { MutexLock lock(mu); value = v; }
+ *
+ * Condition waits are written as explicit loops over *Locked()
+ * predicate helpers (annotated SEQ_REQUIRES(mu)) instead of
+ * predicate-taking wait overloads, because the analysis cannot see
+ * into a predicate lambda:
+ *
+ *     MutexLock lock(mu);
+ *     while (!readyLocked())
+ *         cv.wait(mu);
+ */
+
+#ifndef SEQPOINT_COMMON_MUTEX_HH
+#define SEQPOINT_COMMON_MUTEX_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hh"
+
+namespace seqpoint {
+
+/** std::mutex with thread-safety-analysis capability attributes. */
+class SEQ_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Acquire exclusively (blocking). */
+    void lock() SEQ_ACQUIRE() { mu_.lock(); }
+
+    /** Release. */
+    void unlock() SEQ_RELEASE() { mu_.unlock(); }
+
+    /** @return True (holding the lock) on a successful acquire. */
+    bool try_lock() SEQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/** Scoped lock over Mutex (the std::lock_guard shape, annotated). */
+class SEQ_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    /** Acquire `mu` for this scope. */
+    explicit MutexLock(Mutex &mu) SEQ_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    /** Release. */
+    ~MutexLock() SEQ_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable bound to the annotated Mutex. Waits take the
+ * Mutex itself (caller must hold it, enforced by SEQ_REQUIRES), and
+ * atomically release/reacquire through the wrapped std primitives --
+ * no condition_variable_any overhead, no predicate overloads (see the
+ * file comment for the explicit-loop idiom).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Block until notified (spurious wakeups possible; loop). */
+    void
+    wait(Mutex &mu) SEQ_REQUIRES(mu)
+    {
+        // Adopt the already-held native mutex for the wait, then
+        // release ownership again so the caller's scope (MutexLock)
+        // stays the one true unlocker.
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    /**
+     * Block until notified or `deadline` passes.
+     *
+     * @return std::cv_status::timeout when the deadline passed.
+     */
+    std::cv_status
+    waitUntil(Mutex &mu,
+              std::chrono::steady_clock::time_point deadline)
+        SEQ_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        std::cv_status status = cv_.wait_until(native, deadline);
+        native.release();
+        return status;
+    }
+
+    /** Wake one waiter. */
+    void notify_one() { cv_.notify_one(); }
+
+    /** Wake every waiter. */
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace seqpoint
+
+#endif // SEQPOINT_COMMON_MUTEX_HH

@@ -12,10 +12,10 @@
 
 namespace seqpoint {
 
-Table::Table(std::vector<std::string> headers)
-    : headers(std::move(headers))
+Table::Table(std::vector<std::string> cols)
+    : headers(std::move(cols))
 {
-    panic_if(this->headers.empty(), "Table: no columns");
+    panic_if(headers.empty(), "Table: no columns");
 }
 
 void

@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         stopping = true;
     }
     cvTask.notify_all();
@@ -53,10 +53,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu);
-            cvTask.wait(lock, [this] {
-                return stopping || !queue.empty();
-            });
+            MutexLock lock(mu);
+            while (!wakeWorkerLocked())
+                cvTask.wait(mu);
             if (queue.empty())
                 return; // stopping and drained
             task = std::move(queue.front());
@@ -74,11 +73,11 @@ ThreadPool::workerLoop()
             err = std::current_exception();
         }
         {
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             --active;
             if (err && !firstError)
                 firstError = err;
-            if (queue.empty() && active == 0)
+            if (idleLocked())
                 cvIdle.notify_all();
         }
     }
@@ -88,7 +87,7 @@ void
 ThreadPool::run(std::function<void()> fn)
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         queue.push_back(std::move(fn));
     }
     cvTask.notify_one();
@@ -97,13 +96,15 @@ ThreadPool::run(std::function<void()> fn)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    cvIdle.wait(lock, [this] { return queue.empty() && active == 0; });
-    if (firstError) {
-        std::exception_ptr err = std::exchange(firstError, nullptr);
-        lock.unlock();
-        std::rethrow_exception(err);
+    std::exception_ptr err;
+    {
+        MutexLock lock(mu);
+        while (!idleLocked())
+            cvIdle.wait(mu);
+        err = std::exchange(firstError, nullptr);
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 namespace {
@@ -121,10 +122,11 @@ struct ForState
     std::function<void(std::size_t)> fn;
     const CancelToken *token; ///< Caller's cancel context to re-install.
     std::atomic<std::size_t> next{0};     ///< Next unclaimed index.
-    std::mutex mu;
-    std::condition_variable done;
-    std::size_t finished = 0;             ///< Indices fully executed.
-    std::exception_ptr firstErr;
+    Mutex mu;
+    CondVar done;
+    /** Indices fully executed. */
+    std::size_t finished SEQ_GUARDED_BY(mu) = 0;
+    std::exception_ptr firstErr SEQ_GUARDED_BY(mu);
 
     /**
      * Claim-and-run loop, shared by the caller and the helpers. A
@@ -133,7 +135,7 @@ struct ForState
      * complete the range even when no helper ever runs.
      */
     void
-    drain()
+    drain() SEQ_EXCLUDES(mu)
     {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -145,7 +147,7 @@ struct ForState
             } catch (...) {
                 err = std::current_exception();
             }
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(mu);
             if (err && !firstErr)
                 firstErr = err;
             if (++finished == count)
@@ -191,13 +193,15 @@ ThreadPool::parallelFor(std::size_t count,
 
     state->drain();
 
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done.wait(lock, [&] { return state->finished == count; });
-    if (state->firstErr) {
-        std::exception_ptr err = std::exchange(state->firstErr, nullptr);
-        lock.unlock();
-        std::rethrow_exception(err);
+    std::exception_ptr err;
+    {
+        MutexLock lock(state->mu);
+        while (state->finished != count)
+            state->done.wait(state->mu);
+        err = std::exchange(state->firstErr, nullptr);
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace seqpoint

@@ -20,14 +20,15 @@
 #ifndef SEQPOINT_COMMON_THREAD_POOL_HH
 #define SEQPOINT_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 
 namespace seqpoint {
 
@@ -68,7 +69,7 @@ class ThreadPool
      *
      * @param fn Task body.
      */
-    void run(std::function<void()> fn);
+    void run(std::function<void()> fn) SEQ_EXCLUDES(mu);
 
     /**
      * Block until every task enqueued so far has finished, then
@@ -76,7 +77,7 @@ class ThreadPool
      * the pool is reusable afterwards). Completes the full drain
      * first -- a throwing task never strands its siblings.
      */
-    void wait();
+    void wait() SEQ_EXCLUDES(mu);
 
     /**
      * Run fn(0) .. fn(count-1), each exactly once, across the workers
@@ -108,16 +109,32 @@ class ThreadPool
                      unsigned width = 0);
 
   private:
-    std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
-    mutable std::mutex mu;
-    std::condition_variable cvTask;  ///< Signals workers: task or stop.
-    std::condition_variable cvIdle;  ///< Signals wait(): all drained.
-    std::size_t active = 0;          ///< Tasks currently executing.
-    bool stopping = false;
-    std::exception_ptr firstError;   ///< First run() task exception.
+    std::vector<std::thread> workers; ///< Immutable after the ctor.
+    mutable Mutex mu;
+    std::deque<std::function<void()>> queue SEQ_GUARDED_BY(mu);
+    CondVar cvTask; ///< Signals workers: task or stop.
+    CondVar cvIdle; ///< Signals wait(): all drained.
+    /** Tasks currently executing. */
+    std::size_t active SEQ_GUARDED_BY(mu) = 0;
+    bool stopping SEQ_GUARDED_BY(mu) = false;
+    /** First run() task exception. */
+    std::exception_ptr firstError SEQ_GUARDED_BY(mu);
 
-    void workerLoop();
+    /** @return True when a worker should wake (task ready or stop). */
+    bool
+    wakeWorkerLocked() const SEQ_REQUIRES(mu)
+    {
+        return stopping || !queue.empty();
+    }
+
+    /** @return True when everything enqueued so far has finished. */
+    bool
+    idleLocked() const SEQ_REQUIRES(mu)
+    {
+        return queue.empty() && active == 0;
+    }
+
+    void workerLoop() SEQ_EXCLUDES(mu);
 };
 
 } // namespace seqpoint

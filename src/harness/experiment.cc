@@ -30,8 +30,8 @@ Experiment::defaultOptions()
     return opts;
 }
 
-Experiment::Experiment(Workload workload, core::SeqPointOptions opts)
-    : wl(std::move(workload)), opts(opts)
+Experiment::Experiment(Workload workload, core::SeqPointOptions options)
+    : wl(std::move(workload)), opts(options)
 {
 }
 

@@ -18,17 +18,17 @@ namespace harness {
 
 namespace fs = std::filesystem;
 
-SnapshotRegistry::SnapshotRegistry(std::string dir,
+SnapshotRegistry::SnapshotRegistry(std::string store_dir,
                                    uint64_t store_cap_bytes)
-    : dir(std::move(dir)), storeCap(store_cap_bytes)
+    : dir(std::move(store_dir)), storeCap(store_cap_bytes)
 {
-    if (this->dir.empty())
+    if (dir.empty())
         return;
     std::error_code ec;
-    fs::create_directories(this->dir, ec);
+    fs::create_directories(dir, ec);
     fatal_if(static_cast<bool>(ec),
              "SnapshotRegistry: cannot create store directory '%s': %s",
-             this->dir.c_str(), ec.message().c_str());
+             dir.c_str(), ec.message().c_str());
 }
 
 void
@@ -45,7 +45,7 @@ SnapshotRegistry::enforceStoreCap(const std::string &just_written)
 {
     if (storeCap == 0)
         return;
-    std::lock_guard<std::mutex> lock(storeMu);
+    MutexLock lock(storeMu);
 
     struct StoreFile {
         std::string path;
@@ -94,7 +94,7 @@ SnapshotRegistry::enforceStoreCap(const std::string &just_written)
 std::shared_ptr<SnapshotRegistry::Slot>
 SnapshotRegistry::slotFor(const SnapshotKey &key)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     std::shared_ptr<Slot> &slot = slots[key.cacheKey()];
     if (!slot)
         slot = std::make_shared<Slot>();
@@ -149,7 +149,7 @@ SnapshotRegistry::lookupLocked(Slot &slot, const SnapshotKey &key)
                 bumpStat(stats_.diskHits);
                 return slot.snap;
             }
-        } else if (strict_) {
+        } else if (strict()) {
             fatal("%s", result.status().message().c_str());
         } else {
             // The store is a cache: a bad entry costs a rebuild,
@@ -174,7 +174,7 @@ SnapshotRegistry::acquire(
     // Single-flight: the first caller holds the slot through its
     // build; same-key callers block here and find the result, while
     // other keys proceed on their own slots.
-    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    MutexLock slot_lock(slot->mu);
     if (auto snap = lookupLocked(*slot, key))
         return snap;
 
@@ -247,7 +247,7 @@ std::shared_ptr<const ModelSnapshot>
 SnapshotRegistry::cached(const SnapshotKey &key)
 {
     std::shared_ptr<Slot> slot = slotFor(key);
-    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    MutexLock slot_lock(slot->mu);
     return lookupLocked(*slot, key);
 }
 
@@ -286,27 +286,28 @@ SnapshotRegistry::flushToStore()
     // so a flush racing late workers still sees their results.
     std::vector<std::pair<std::string, std::shared_ptr<Slot>>> all;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         all.assign(slots.begin(), slots.end());
     }
 
     std::size_t written = 0;
-    for (auto &[cache_key, slot] : all) {
-        std::lock_guard<std::mutex> slot_lock(slot->mu);
-        if (!slot->snap)
+    for (const auto &entry : all) {
+        Slot &slot = *entry.second;
+        MutexLock slot_lock(slot.mu);
+        if (!slot.snap)
             continue;
         std::string path =
-            (fs::path(dir) / snapshotKeyOf(*slot->snap).fileName())
+            (fs::path(dir) / snapshotKeyOf(*slot.snap).fileName())
                 .string();
         std::error_code ec;
         if (fs::exists(path, ec))
             continue; // already persisted at build time
-        if (saveSnapshot(*slot->snap, path)) {
+        if (saveSnapshot(*slot.snap, path)) {
             ++written;
             enforceStoreCap(path);
         } else {
             warn("SnapshotRegistry: flush could not persist '%s'",
-                 slot->snap->workload.c_str());
+                 slot.snap->workload.c_str());
         }
     }
     return written;

@@ -18,9 +18,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "core/seqpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/snapshot_io.hh"
@@ -151,13 +152,23 @@ class SnapshotRegistry
     /**
      * Select the response to a store file that fails validation:
      * quarantine-and-rebuild (false, the default) or fatal (true).
+     * Atomic, so flipping it while workers are mid-lookup is safe
+     * (each lookup observes one coherent policy).
      *
      * @param strict True restores fail-fast validation.
      */
-    void setStrict(bool strict) { strict_ = strict; }
+    void
+    setStrict(bool strict)
+    {
+        strict_.store(strict, std::memory_order_relaxed);
+    }
 
     /** @return True when a bad store file is fatal. */
-    bool strict() const { return strict_; }
+    bool
+    strict() const
+    {
+        return strict_.load(std::memory_order_relaxed);
+    }
 
     /**
      * @return Hit/build accounting so far: a consistent snapshot of
@@ -182,16 +193,24 @@ class SnapshotRegistry
   private:
     /** One key's slot; its mutex serialises the single-flight build. */
     struct Slot {
-        std::mutex mu;
-        std::shared_ptr<const ModelSnapshot> snap;
+        Mutex mu;
+        std::shared_ptr<const ModelSnapshot> snap SEQ_GUARDED_BY(mu);
     };
 
-    std::string dir;
-    uint64_t storeCap = 0;
-    bool strict_ = false;
-    mutable std::mutex mu;
-    std::mutex storeMu; ///< Serialises store-wide eviction scans.
-    std::map<std::string, std::shared_ptr<Slot>> slots;
+    std::string dir;     ///< Immutable after the ctor.
+    uint64_t storeCap = 0; ///< Immutable after the ctor.
+    std::atomic<bool> strict_{false};
+    /**
+     * Lock order: `mu` (slot-table) is only ever held alone;
+     * a slot's `mu` may be held while taking `storeMu` (save-side
+     * eviction), never the reverse.
+     */
+    mutable Mutex mu;
+    /** Serialises store-wide eviction scans (guards the directory,
+     *  not a member, so it carries no SEQ_GUARDED_BY data). */
+    Mutex storeMu;
+    std::map<std::string, std::shared_ptr<Slot>> slots
+        SEQ_GUARDED_BY(mu);
 
     /**
      * Lock-free statistics: each counter is incremented atomically on
@@ -217,7 +236,8 @@ class SnapshotRegistry
         statsGen.fetch_add(1, std::memory_order_release);
     }
 
-    std::shared_ptr<Slot> slotFor(const SnapshotKey &key);
+    std::shared_ptr<Slot> slotFor(const SnapshotKey &key)
+        SEQ_EXCLUDES(mu);
     std::string pathFor(const SnapshotKey &key) const;
 
     /**
@@ -241,7 +261,8 @@ class SnapshotRegistry
      * reported as a miss (fatal in strict mode instead).
      */
     std::shared_ptr<const ModelSnapshot>
-    lookupLocked(Slot &slot, const SnapshotKey &key);
+    lookupLocked(Slot &slot, const SnapshotKey &key)
+        SEQ_REQUIRES(slot.mu);
 
     /**
      * Set a failed store file aside as `path`.corrupt (removing it

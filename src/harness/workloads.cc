@@ -13,11 +13,11 @@
 namespace seqpoint {
 namespace harness {
 
-Workload::Workload(std::string name, nn::Model model,
-                   data::Dataset dataset, data::BatchPolicy policy,
-                   uint64_t seed)
-    : name(std::move(name)), model(std::move(model)),
-      dataset(std::move(dataset)), policy(policy), seed(seed)
+Workload::Workload(std::string wl_name, nn::Model wl_model,
+                   data::Dataset wl_dataset, data::BatchPolicy batch_policy,
+                   uint64_t rng_seed)
+    : name(std::move(wl_name)), model(std::move(wl_model)),
+      dataset(std::move(wl_dataset)), policy(batch_policy), seed(rng_seed)
 {
 }
 

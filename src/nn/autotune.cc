@@ -35,10 +35,10 @@ gemmVariantMenu()
     return menu;
 }
 
-Autotuner::Autotuner(Mode mode, const sim::Gpu *gpu)
-    : mode(mode), gpu(gpu)
+Autotuner::Autotuner(Mode tune_mode, const sim::Gpu *device)
+    : mode(tune_mode), gpu(device)
 {
-    fatal_if(mode == Mode::Measured && gpu == nullptr,
+    fatal_if(tune_mode == Mode::Measured && device == nullptr,
              "Measured autotune mode requires a device");
 }
 
@@ -55,7 +55,7 @@ Autotuner::select(int64_t m, int64_t n, int64_t k)
     // std::map nodes are stable, so the returned reference survives
     // later insertions by other threads once the lock is released.
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = cache.find(key);
         if (it != cache.end())
             return it->second.variant;
@@ -69,7 +69,7 @@ Autotuner::select(int64_t m, int64_t n, int64_t k)
         ? Entry{chooseHeuristic(m, n, k), 0.0}
         : chooseMeasured(m, n, k);
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto [pos, inserted] = cache.emplace(key, chosen);
     (void)inserted;
     return pos->second.variant;
@@ -78,7 +78,7 @@ Autotuner::select(int64_t m, int64_t n, int64_t k)
 double
 Autotuner::tuningCostSec() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     double total = 0.0;
     for (const auto &[key, entry] : cache)
         total += entry.costSec;
@@ -88,14 +88,14 @@ Autotuner::tuningCostSec() const
 size_t
 Autotuner::cacheSize() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return cache.size();
 }
 
 std::vector<AutotuneEntry>
 Autotuner::snapshotEntries() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     std::vector<AutotuneEntry> out;
     out.reserve(cache.size());
     for (const auto &[key, entry] : cache) {
@@ -109,7 +109,7 @@ Autotuner::snapshotEntries() const
 void
 Autotuner::seed(const std::vector<AutotuneEntry> &entries)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (const AutotuneEntry &e : entries) {
         cache.emplace(ShapeKey{e.m, e.n, e.k},
                       Entry{e.variant, e.costSec});
@@ -168,7 +168,7 @@ Autotuner::chooseMeasured(int64_t m, int64_t n, int64_t k)
 void
 Autotuner::reset()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     cache.clear();
 }
 

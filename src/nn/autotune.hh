@@ -13,12 +13,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/bytestream.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "sim/gpu.hh"
 
 namespace seqpoint {
@@ -143,8 +144,10 @@ class Autotuner
 
     Mode mode;
     const sim::Gpu *gpu;
-    mutable std::mutex mu;
-    std::map<ShapeKey, Entry> cache;
+    mutable Mutex mu;
+    /** Node-based map: returned variant references stay stable, so
+     *  select() may hand them out after unlocking. */
+    std::map<ShapeKey, Entry> cache SEQ_GUARDED_BY(mu);
 
     GemmVariant chooseHeuristic(int64_t m, int64_t n, int64_t k) const;
     Entry chooseMeasured(int64_t m, int64_t n, int64_t k);

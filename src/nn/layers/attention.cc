@@ -11,11 +11,11 @@
 namespace seqpoint {
 namespace nn {
 
-AttentionLayer::AttentionLayer(std::string name, int64_t hidden,
+AttentionLayer::AttentionLayer(std::string name, int64_t hidden_dim,
                                TimeAxis query_axis)
-    : Layer(std::move(name)), hidden(hidden), queryAxis(query_axis)
+    : Layer(std::move(name)), hidden(hidden_dim), queryAxis(query_axis)
 {
-    fatal_if(hidden <= 0, "AttentionLayer: bad hidden size");
+    fatal_if(hidden_dim <= 0, "AttentionLayer: bad hidden size");
 }
 
 void

@@ -12,12 +12,12 @@ namespace seqpoint {
 namespace nn {
 
 BatchNormLayer::BatchNormLayer(std::string name, int64_t features_per_step,
-                               int64_t channels, TimeAxis axis,
+                               int64_t chans, TimeAxis time_axis,
                                int64_t fixed_steps)
     : Layer(std::move(name)), featuresPerStep(features_per_step),
-      channels(channels), axis(axis), fixedSteps(fixed_steps)
+      channels(chans), axis(time_axis), fixedSteps(fixed_steps)
 {
-    fatal_if(features_per_step <= 0 || channels <= 0,
+    fatal_if(features_per_step <= 0 || chans <= 0,
              "BatchNormLayer: bad dimensions");
 }
 

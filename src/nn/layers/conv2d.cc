@@ -12,15 +12,17 @@ namespace seqpoint {
 namespace nn {
 
 Conv2dLayer::Conv2dLayer(std::string name, int64_t in_c, int64_t out_c,
-                         int64_t kh, int64_t kw, int64_t stride_h,
-                         int64_t stride_w, int64_t width, TimeAxis axis,
-                         int64_t time_expansion, int64_t fixed_height)
-    : Layer(std::move(name)), inC(in_c), outC(out_c), kh(kh), kw(kw),
-      strideH(stride_h), strideW(stride_w), width(width), axis(axis),
+                         int64_t kernel_h, int64_t kernel_w, int64_t stride_h,
+                         int64_t stride_w, int64_t in_width,
+                         TimeAxis time_axis, int64_t time_expansion,
+                         int64_t fixed_height)
+    : Layer(std::move(name)), inC(in_c), outC(out_c), kh(kernel_h),
+      kw(kernel_w),
+      strideH(stride_h), strideW(stride_w), width(in_width), axis(time_axis),
       timeExpansion(time_expansion), fixedHeight(fixed_height)
 {
-    fatal_if(in_c <= 0 || out_c <= 0 || kh <= 0 || kw <= 0 ||
-             stride_h <= 0 || stride_w <= 0 || width <= 0,
+    fatal_if(in_c <= 0 || out_c <= 0 || kernel_h <= 0 || kernel_w <= 0 ||
+             stride_h <= 0 || stride_w <= 0 || in_width <= 0,
              "Conv2dLayer: bad dimensions");
 }
 

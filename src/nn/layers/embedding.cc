@@ -11,11 +11,13 @@
 namespace seqpoint {
 namespace nn {
 
-EmbeddingLayer::EmbeddingLayer(std::string name, int64_t vocab,
-                               int64_t dim, TimeAxis axis)
-    : Layer(std::move(name)), vocab(vocab), dim(dim), axis(axis)
+EmbeddingLayer::EmbeddingLayer(std::string name, int64_t vocab_size,
+                               int64_t embed_dim, TimeAxis time_axis)
+    : Layer(std::move(name)), vocab(vocab_size), dim(embed_dim),
+      axis(time_axis)
 {
-    fatal_if(vocab <= 0 || dim <= 0, "EmbeddingLayer: bad dimensions");
+    fatal_if(vocab_size <= 0 || embed_dim <= 0,
+             "EmbeddingLayer: bad dimensions");
 }
 
 void

@@ -16,9 +16,9 @@ namespace seqpoint {
 namespace nn {
 
 FullyConnectedLayer::FullyConnectedLayer(std::string name, int64_t in_dim,
-                                         int64_t out_dim, TimeAxis axis,
+                                         int64_t out_dim, TimeAxis time_axis,
                                          int64_t fixed_steps)
-    : Layer(std::move(name)), inDim(in_dim), outDim(out_dim), axis(axis),
+    : Layer(std::move(name)), inDim(in_dim), outDim(out_dim), axis(time_axis),
       fixedSteps(fixed_steps)
 {
     fatal_if(in_dim <= 0 || out_dim <= 0,

@@ -18,13 +18,13 @@ gateCount(CellType type)
     return type == CellType::Lstm ? 4 : 3;
 }
 
-RecurrentLayer::RecurrentLayer(std::string name, CellType type,
-                               int64_t input_dim, int64_t hidden,
-                               bool bidirectional, TimeAxis axis)
-    : Layer(std::move(name)), type(type), inputDim(input_dim),
-      hidden(hidden), bidirectional(bidirectional), axis(axis)
+RecurrentLayer::RecurrentLayer(std::string name, CellType cell_type,
+                               int64_t input_dim, int64_t hidden_dim,
+                               bool bidir, TimeAxis time_axis)
+    : Layer(std::move(name)), type(cell_type), inputDim(input_dim),
+      hidden(hidden_dim), bidirectional(bidir), axis(time_axis)
 {
-    fatal_if(input_dim <= 0 || hidden <= 0,
+    fatal_if(input_dim <= 0 || hidden_dim <= 0,
              "RecurrentLayer: bad dimensions");
 }
 

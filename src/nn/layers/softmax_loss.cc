@@ -11,12 +11,12 @@
 namespace seqpoint {
 namespace nn {
 
-SoftmaxLossLayer::SoftmaxLossLayer(std::string name, int64_t classes,
-                                   TimeAxis axis, int64_t fixed_steps)
-    : Layer(std::move(name)), classes(classes), axis(axis),
+SoftmaxLossLayer::SoftmaxLossLayer(std::string name, int64_t class_count,
+                                   TimeAxis time_axis, int64_t fixed_steps)
+    : Layer(std::move(name)), classes(class_count), axis(time_axis),
       fixedSteps(fixed_steps)
 {
-    fatal_if(classes <= 0, "SoftmaxLossLayer: bad class count");
+    fatal_if(class_count <= 0, "SoftmaxLossLayer: bad class count");
 }
 
 void

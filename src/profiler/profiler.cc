@@ -13,12 +13,13 @@
 namespace seqpoint {
 namespace prof {
 
-Profiler::Profiler(const sim::Gpu &gpu, const nn::Model &model,
-                   nn::Autotuner &tuner, unsigned batch, bool memoize)
-    : gpu_(gpu), model(model), tuner(tuner), batch(batch),
-      memoize(memoize)
+Profiler::Profiler(const sim::Gpu &gpu, const nn::Model &net,
+                   nn::Autotuner &shared_tuner, unsigned batch_size,
+                   bool memoize_profiles)
+    : gpu_(gpu), model(net), tuner(shared_tuner), batch(batch_size),
+      memoize(memoize_profiles)
 {
-    fatal_if(batch == 0, "Profiler: zero batch size");
+    fatal_if(batch_size == 0, "Profiler: zero batch size");
 }
 
 IterationProfile

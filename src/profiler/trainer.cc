@@ -181,9 +181,15 @@ runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
         // table lookups. Accumulation visits the same values in the
         // same (execution) order as the per-iteration path, so the
         // totals are bit-identical.
+        // Resolving a profile is the expensive part when the memo is
+        // cold (each miss runs a full per-SL profile), so this is
+        // where a deadline firing mid-resolve must be noticed; the
+        // replay loops below are pure table lookups.
         std::vector<const IterationProfile *> table(train_sls.size());
-        for (std::size_t i = 0; i < train_sls.size(); ++i)
+        for (std::size_t i = 0; i < train_sls.size(); ++i) {
+            cancelCheckpoint("trainer.resolve");
             table[i] = &profiler.profileIteration(train_sls[i]);
+        }
 
         for (const data::Batch &b : batches) {
             const IterationProfile &p =
@@ -195,8 +201,10 @@ runTrainingEpoch(Profiler &profiler, const data::Dataset &dataset,
 
         if (do_eval) {
             std::vector<const IterationProfile *> etab(eval_sls.size());
-            for (std::size_t i = 0; i < eval_sls.size(); ++i)
+            for (std::size_t i = 0; i < eval_sls.size(); ++i) {
+                cancelCheckpoint("trainer.resolve");
                 etab[i] = &profiler.profileInference(eval_sls[i]);
+            }
             for (const data::Batch &b : eval_batches) {
                 const IterationProfile &p =
                     *etab[slIndex(eval_sls, b.seqLen)];

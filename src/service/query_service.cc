@@ -27,15 +27,16 @@ PendingQuery::PendingQuery(QueryRequest r)
 bool
 PendingQuery::done() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return done_;
 }
 
 QueryResult
 PendingQuery::wait()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return done_; });
+    MutexLock lock(mu);
+    while (!done_)
+        cv.wait(mu);
     return result;
 }
 
@@ -43,7 +44,7 @@ void
 PendingQuery::complete(QueryResult r)
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         panic_if(done_, "PendingQuery: completed twice");
         result = std::move(r);
         result.latencySec = CancelToken::now() - submitSec;
@@ -79,7 +80,7 @@ QueryService::registerWorkload(const std::string &name,
 void
 QueryService::start()
 {
-    std::lock_guard<std::mutex> lock(lifecycleMu);
+    MutexLock lock(lifecycleMu);
     panic_if(running_.load(), "QueryService: start() twice");
     panic_if(factories.empty(),
              "QueryService: start() with no registered workloads");
@@ -91,7 +92,7 @@ QueryService::start()
     running_.store(true);
     draining_.store(false);
     {
-        std::lock_guard<std::mutex> wd_lock(watchdogMu);
+        MutexLock wd_lock(watchdogMu);
         stopWatchdog = false;
     }
     workers_.reserve(config_.workers);
@@ -116,7 +117,7 @@ QueryService::submit(QueryRequest req)
 
     if (!refusal) {
         {
-            std::lock_guard<std::mutex> lock(outstandingMu);
+            MutexLock lock(outstandingMu);
             outstanding.insert(p);
         }
         if (queue_.tryPush(p)) {
@@ -124,7 +125,7 @@ QueryService::submit(QueryRequest req)
             return p;
         }
         {
-            std::lock_guard<std::mutex> lock(outstandingMu);
+            MutexLock lock(outstandingMu);
             outstanding.erase(p);
         }
         refusal = "queue full";
@@ -160,7 +161,7 @@ QueryService::answerQuery(const QueryRequest &req, bool &cold_build)
         req.workload + "\x1f" + req.config.signature();
     std::shared_ptr<WarmEntry> entry;
     {
-        std::lock_guard<std::mutex> lock(entriesMu);
+        MutexLock lock(entriesMu);
         std::shared_ptr<WarmEntry> &slot = entries[entry_key];
         if (!slot)
             slot = std::make_shared<WarmEntry>();
@@ -171,7 +172,7 @@ QueryService::answerQuery(const QueryRequest &req, bool &cold_build)
     // concurrent identical queries piggybacks here and finds warm
     // state); different pairs proceed independently. Lock order is
     // entry -> registry slot, never the reverse.
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    MutexLock entry_lock(entry->mu);
     cancelCheckpoint("service.entry");
 
     if (!entry->exp) {
@@ -233,7 +234,7 @@ QueryService::finish(const PendingPtr &p, QueryResult r)
         stats_.failed.fetch_add(1, std::memory_order_relaxed);
     }
     {
-        std::lock_guard<std::mutex> lock(outstandingMu);
+        MutexLock lock(outstandingMu);
         outstanding.erase(p);
     }
     p->complete(std::move(r));
@@ -246,7 +247,7 @@ QueryService::workerLoop(unsigned index)
     while (auto item = queue_.pop()) {
         PendingPtr p = std::move(*item);
         {
-            std::lock_guard<std::mutex> lock(ws.mu);
+            MutexLock lock(ws.mu);
             ws.current = p;
             ws.busySince = CancelToken::now();
             ws.reported = false;
@@ -272,7 +273,7 @@ QueryService::workerLoop(unsigned index)
         }
 
         {
-            std::lock_guard<std::mutex> lock(ws.mu);
+            MutexLock lock(ws.mu);
             ws.current = nullptr;
         }
         finish(p, std::move(r));
@@ -284,19 +285,24 @@ QueryService::watchdogLoop()
 {
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(watchdogMu);
-            watchdogCv.wait_for(
-                lock,
-                std::chrono::duration<double>(
-                    std::max(0.01, config_.watchdogPollSec)),
-                [this] { return stopWatchdog; });
+            MutexLock lock(watchdogMu);
+            const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        std::max(0.01, config_.watchdogPollSec)));
+            while (!stopWatchdog) {
+                if (watchdogCv.waitUntil(watchdogMu, deadline) ==
+                    std::cv_status::timeout)
+                    break;
+            }
             if (stopWatchdog)
                 return;
         }
         double now = CancelToken::now();
         for (std::size_t i = 0; i < workerStates.size(); ++i) {
             WorkerState &ws = *workerStates[i];
-            std::lock_guard<std::mutex> lock(ws.mu);
+            MutexLock lock(ws.mu);
             if (!ws.current || ws.reported)
                 continue;
             double busy = now - ws.busySince;
@@ -315,7 +321,7 @@ QueryService::watchdogLoop()
 void
 QueryService::drain(double timeout_sec)
 {
-    std::lock_guard<std::mutex> lock(lifecycleMu);
+    MutexLock lock(lifecycleMu);
     if (!running_.load())
         return;
 
@@ -329,7 +335,7 @@ QueryService::drain(double timeout_sec)
     double deadline = CancelToken::now() + std::max(0.0, timeout_sec);
     for (;;) {
         {
-            std::lock_guard<std::mutex> out_lock(outstandingMu);
+            MutexLock out_lock(outstandingMu);
             if (outstanding.empty())
                 break;
         }
@@ -342,7 +348,7 @@ QueryService::drain(double timeout_sec)
     // checkpoint and answers Cancelled; the workers then observe the
     // closed, drained queue and exit.
     {
-        std::lock_guard<std::mutex> out_lock(outstandingMu);
+        MutexLock out_lock(outstandingMu);
         for (const PendingPtr &p : outstanding)
             p->cancel();
     }
@@ -351,7 +357,7 @@ QueryService::drain(double timeout_sec)
     workers_.clear();
 
     {
-        std::lock_guard<std::mutex> wd_lock(watchdogMu);
+        MutexLock wd_lock(watchdogMu);
         stopWatchdog = true;
     }
     watchdogCv.notify_all();

@@ -35,12 +35,10 @@
 #define SEQPOINT_SERVICE_QUERY_SERVICE_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -48,7 +46,9 @@
 
 #include "common/bounded_queue.hh"
 #include "common/cancel.hh"
+#include "common/mutex.hh"
 #include "common/status.hh"
+#include "common/thread_annotations.hh"
 #include "core/baselines.hh"
 #include "core/seqpoint.hh"
 #include "harness/experiment.hh"
@@ -104,25 +104,25 @@ class PendingQuery
     void cancel() { token_.cancel(); }
 
     /** @return True once the result is available. */
-    bool done() const;
+    bool done() const SEQ_EXCLUDES(mu);
 
     /** Block until the result is available and return it. */
-    QueryResult wait();
+    QueryResult wait() SEQ_EXCLUDES(mu);
 
   private:
     friend class QueryService;
 
     /** Publish the result and wake every waiter (exactly once). */
-    void complete(QueryResult r);
+    void complete(QueryResult r) SEQ_EXCLUDES(mu);
 
     QueryRequest req;
     CancelToken token_;
     double submitSec = 0.0; ///< CancelToken::now() at submit.
 
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    bool done_ = false;
-    QueryResult result;
+    mutable Mutex mu;
+    CondVar cv;
+    bool done_ SEQ_GUARDED_BY(mu) = false;
+    QueryResult result SEQ_GUARDED_BY(mu);
 };
 
 using PendingPtr = std::shared_ptr<PendingQuery>;
@@ -226,43 +226,56 @@ class QueryService
      * per workload.
      */
     struct WarmEntry {
-        std::mutex mu;
-        std::unique_ptr<harness::Experiment> exp;
+        Mutex mu;
+        std::unique_ptr<harness::Experiment> exp SEQ_GUARDED_BY(mu)
+            SEQ_PT_GUARDED_BY(mu);
     };
 
     /** Per-worker heartbeat the watchdog reads. */
     struct WorkerState {
-        std::mutex mu;
-        PendingPtr current;      ///< Request being served (or null).
-        double busySince = 0.0;  ///< CancelToken::now() at dequeue.
-        bool reported = false;   ///< Stuck report already issued.
+        Mutex mu;
+        /** Request being served (or null). */
+        PendingPtr current SEQ_GUARDED_BY(mu);
+        /** CancelToken::now() at dequeue. */
+        double busySince SEQ_GUARDED_BY(mu) = 0.0;
+        /** Stuck report already issued. */
+        bool reported SEQ_GUARDED_BY(mu) = false;
     };
 
     ServiceConfig config_;
     harness::SnapshotRegistry registry_;
+    /** Written before start() only; read-only once workers exist. */
     std::map<std::string, harness::WorkloadFactory> factories;
 
     BoundedQueue<PendingPtr> queue_;
-    std::vector<std::thread> workers_;
+    /** Serialises start()/drain(); guards the thread handles. */
+    Mutex lifecycleMu;
+    std::vector<std::thread> workers_ SEQ_GUARDED_BY(lifecycleMu);
+    /** Sized in start() before any worker/watchdog thread exists;
+     *  the vector itself is read-only while they run (each element's
+     *  state is guarded by its own WorkerState::mu). */
     std::vector<std::unique_ptr<WorkerState>> workerStates;
-    std::thread watchdog_;
+    std::thread watchdog_ SEQ_GUARDED_BY(lifecycleMu);
     std::atomic<bool> running_{false};
     std::atomic<bool> draining_{false};
-    std::mutex lifecycleMu; ///< Serialises start()/drain().
 
     /** Watchdog shutdown handshake (CV so drain need not wait out a
      *  poll interval). */
-    std::mutex watchdogMu;
-    std::condition_variable watchdogCv;
-    bool stopWatchdog = false;
+    Mutex watchdogMu;
+    CondVar watchdogCv;
+    bool stopWatchdog SEQ_GUARDED_BY(watchdogMu) = false;
 
     /** Admitted-but-unfinished requests, for drain's cancel sweep. */
-    std::mutex outstandingMu;
-    std::set<PendingPtr> outstanding;
+    Mutex outstandingMu;
+    std::set<PendingPtr> outstanding SEQ_GUARDED_BY(outstandingMu);
 
-    /** Warm entries, keyed workload + "\x1f" + config signature. */
-    std::mutex entriesMu;
-    std::map<std::string, std::shared_ptr<WarmEntry>> entries;
+    /** Warm entries, keyed workload + "\x1f" + config signature.
+     *  Lock order: a WarmEntry::mu is taken after entriesMu is
+     *  released and may be held across registry-slot acquisition
+     *  (entry -> registry slot, never the reverse). */
+    Mutex entriesMu;
+    std::map<std::string, std::shared_ptr<WarmEntry>> entries
+        SEQ_GUARDED_BY(entriesMu);
 
     struct AtomicStats {
         std::atomic<uint64_t> admitted{0};

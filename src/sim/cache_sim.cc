@@ -22,21 +22,21 @@ CacheStats::hitRate() const
         static_cast<double>(accesses) : 0.0;
 }
 
-CacheSim::CacheSim(uint64_t size_bytes, unsigned assoc, unsigned line_bytes)
-    : size(size_bytes), assoc(assoc), lineBytes(line_bytes)
+CacheSim::CacheSim(uint64_t size_bytes, unsigned ways, unsigned line_bytes)
+    : size(size_bytes), assoc(ways), lineBytes(line_bytes)
 {
-    panic_if(assoc == 0, "CacheSim: zero associativity");
+    panic_if(ways == 0, "CacheSim: zero associativity");
     panic_if(line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0,
              "CacheSim: line size must be a power of two");
     panic_if(size_bytes == 0, "CacheSim: zero capacity");
-    panic_if(size_bytes % (static_cast<uint64_t>(line_bytes) * assoc) != 0,
-             "CacheSim: capacity not divisible by line*assoc");
+    panic_if(size_bytes % (static_cast<uint64_t>(line_bytes) * ways) != 0,
+             "CacheSim: capacity not divisible by line*ways");
 
     lineShift = static_cast<unsigned>(std::countr_zero(line_bytes));
-    sets = size_bytes / (static_cast<uint64_t>(line_bytes) * assoc);
-    tags.assign(sets * assoc, 0);
-    lastUse.assign(sets * assoc, 0);
-    flags.assign(sets * assoc, 0);
+    sets = size_bytes / (static_cast<uint64_t>(line_bytes) * ways);
+    tags.assign(sets * ways, 0);
+    lastUse.assign(sets * ways, 0);
+    flags.assign(sets * ways, 0);
     setOcc.assign(sets, 0);
 }
 

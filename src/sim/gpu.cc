@@ -8,8 +8,8 @@
 namespace seqpoint {
 namespace sim {
 
-Gpu::Gpu(GpuConfig cfg, bool enable_timing_cache)
-    : cfg(std::move(cfg)), cacheEnabled(enable_timing_cache)
+Gpu::Gpu(GpuConfig config, bool enable_timing_cache)
+    : cfg(std::move(config)), cacheEnabled(enable_timing_cache)
 {
 }
 

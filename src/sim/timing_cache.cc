@@ -87,7 +87,7 @@ KernelTimingCache::lookup(const KernelDesc &desc, const GpuConfig &cfg)
     KernelSignature sig = kernelSignature(desc);
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = entries.find(sig);
         if (it != entries.end()) {
             ++stats_.hits;
@@ -100,7 +100,7 @@ KernelTimingCache::lookup(const KernelDesc &desc, const GpuConfig &cfg)
     // duplicated work is harmless and bounded by the thread count.
     KernelTiming kt = timeKernel(desc, cfg);
 
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto [it, inserted] = entries.emplace(sig, kt);
     (void)inserted;
     ++stats_.misses;
@@ -110,7 +110,7 @@ KernelTimingCache::lookup(const KernelDesc &desc, const GpuConfig &cfg)
 std::vector<TimingCacheEntry>
 KernelTimingCache::snapshotEntries() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     std::vector<TimingCacheEntry> out;
     out.reserve(entries.size());
     for (const auto &[sig, timing] : entries)
@@ -121,7 +121,7 @@ KernelTimingCache::snapshotEntries() const
 void
 KernelTimingCache::seed(const std::vector<TimingCacheEntry> &seeded)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (const TimingCacheEntry &e : seeded)
         entries.emplace(e.sig, e.timing);
 }
@@ -129,14 +129,14 @@ KernelTimingCache::seed(const std::vector<TimingCacheEntry> &seeded)
 TimingCacheStats
 KernelTimingCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return stats_;
 }
 
 std::size_t
 KernelTimingCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return entries.size();
 }
 
@@ -316,7 +316,7 @@ decodeTimingSection(ByteReader &r)
 void
 KernelTimingCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     entries.clear();
     stats_ = TimingCacheStats{};
 }

@@ -14,11 +14,12 @@
 #define SEQPOINT_SIM_TIMING_CACHE_HH
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bytestream.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "sim/kernel.hh"
 #include "sim/timing_model.hh"
 
@@ -169,10 +170,10 @@ class KernelTimingCache
     void clear();
 
   private:
-    mutable std::mutex mu;
+    mutable Mutex mu;
     std::unordered_map<KernelSignature, KernelTiming,
-                       KernelSignatureHash> entries;
-    TimingCacheStats stats_;
+                       KernelSignatureHash> entries SEQ_GUARDED_BY(mu);
+    TimingCacheStats stats_ SEQ_GUARDED_BY(mu);
 };
 
 } // namespace sim

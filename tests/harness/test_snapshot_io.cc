@@ -315,6 +315,48 @@ ageFile(const std::string &path, int hours_ago)
                             std::chrono::hours(hours_ago));
 }
 
+TEST(SnapshotRegistry, StrictToggleIsSafeDuringConcurrentLookups)
+{
+    // Regression: strict_ used to be a plain bool that the disk-load
+    // classification path read while setStrict() wrote it from
+    // another thread -- a data race under TSan. strict_ is atomic
+    // now; this test recreates the overlap (a toggler thread racing
+    // lookups that read the flag) so the sanitizer CI job keeps
+    // proving the fix.
+    SnapshotRegistry reg; // memory-only: a miss is never fatal
+    auto snap = tinySnapshot("strict-race");
+    SnapshotKey key = snapshotKeyOf(*snap);
+
+    std::atomic<bool> stop{false};
+    std::thread toggler([&] {
+        bool v = true;
+        while (!stop.load(std::memory_order_relaxed)) {
+            reg.setStrict(v);
+            v = !v;
+        }
+    });
+
+    // Loop until both flag values have been observed so the assertion
+    // below cannot flake on a single-core box; yield periodically to
+    // guarantee the toggler gets scheduled.
+    int seen[2] = {0, 0};
+    for (int i = 0; i < 200000 && (seen[0] == 0 || seen[1] == 0);
+         ++i) {
+        ++seen[reg.strict() ? 1 : 0];
+        EXPECT_EQ(reg.cached(key), nullptr);
+        if ((i & 1023) == 0)
+            std::this_thread::yield();
+    }
+    stop.store(true);
+    toggler.join();
+    reg.setStrict(false);
+
+    // Both values were visible, so the toggler really raced the
+    // lookups rather than finishing before them.
+    EXPECT_GT(seen[0], 0);
+    EXPECT_GT(seen[1], 0);
+}
+
 TEST(SnapshotRegistryEviction, CapsStoreLruByMtime)
 {
     std::string dir = tmpPath("store_evict");

@@ -1,0 +1,3 @@
+// Fixture bench: gate keys mirrored in the CI workflow.
+// BENCH_GATE: fixture_speedup fixture_identical
+int main() { return 0; }

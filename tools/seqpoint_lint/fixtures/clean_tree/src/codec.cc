@@ -1,0 +1,7 @@
+// Fixture codec file: content hash is pinned in codec_pins.txt.
+// Comments may change freely; code changes require a version bump.
+unsigned
+encodeThing(unsigned x)
+{
+    return x * 2654435761u;
+}

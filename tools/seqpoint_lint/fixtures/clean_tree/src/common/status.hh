@@ -1,0 +1,17 @@
+// Fixture Status layer: every enumerator classified.
+enum class ErrorCode {
+    Ok = 0,
+    IoError,
+    Timeout,
+};
+
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::IoError: return "io_error";
+      case ErrorCode::Timeout: return "timeout";
+    }
+    return "unknown";
+}

@@ -1,0 +1,2 @@
+// Fixture: carries the format version rule 3 parses.
+constexpr unsigned kSnapshotFormatVersion = 2;

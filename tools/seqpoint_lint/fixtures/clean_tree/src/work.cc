@@ -1,0 +1,32 @@
+// Fixture: every rule satisfied.
+#include "work.hh"
+
+Status saveThing(int x);
+
+void
+allChecked(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        cancelCheckpoint("fixture.loop");
+        use(i);
+    }
+    // Inner loop covered by the enclosing checked loop.
+    for (int i = 0; i < n; ++i) {
+        cancelCheckpoint("fixture.outer");
+        for (int j = 0; j < n; ++j)
+            use(j);
+    }
+    // Allowlisted: cheap accumulation (see checkpoint_allowlist.txt).
+    for (int k = 0; k < 3; ++k)
+        use(k);
+}
+
+void
+statusHandled(int x)
+{
+    Status s = saveThing(x);
+    if (!s.ok())
+        use(0);
+    // Allowlisted discard (see status_discard_allowlist.txt).
+    ignoreThing(x);
+}

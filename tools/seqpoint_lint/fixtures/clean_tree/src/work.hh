@@ -1,0 +1,8 @@
+// Fixture support declarations.
+class Status {
+  public:
+    bool ok() const { return true; }
+};
+Status ignoreThing(int x);
+void use(int x);
+void cancelCheckpoint(const char *site);

@@ -1,0 +1,3 @@
+// Fixture bench: exports a gate key the CI workflow never checks.
+// BENCH_GATE: fixture_speedup fixture_unmirrored
+int main() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture codec file whose content drifted after it was pinned.
+unsigned
+encodeThing(unsigned x)
+{
+    return x * 2654435761u + 1; // changed without a version bump
+}

@@ -1,0 +1,16 @@
+// Fixture Status layer: Timeout has no classification string.
+enum class ErrorCode {
+    Ok = 0,
+    IoError,
+    Timeout,
+};
+
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::IoError: return "io_error";
+    }
+    return "unknown";
+}

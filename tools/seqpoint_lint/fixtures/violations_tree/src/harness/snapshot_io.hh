@@ -1,0 +1,3 @@
+// Fixture: same version as the stale pin below -- editing the codec
+// without bumping this is exactly what rule 3 rejects.
+constexpr unsigned kSnapshotFormatVersion = 2;

@@ -1,0 +1,21 @@
+// Fixture: trips the checkpoint and status-discard rules.
+#include "work.hh"
+
+Status saveThing(int x);
+
+void
+uncheckedLoop(int n)
+{
+    // Rule 1: no checkpoint, not allowlisted.
+    for (int i = 0; i < n; ++i)
+        use(i);
+}
+
+void
+discards(int x)
+{
+    // Rule 2: statement-position discard.
+    saveThing(x);
+    // Rule 2: (void)-laundered discard.
+    (void)ignoreThing(x);
+}
