@@ -239,7 +239,9 @@ ByteReader::f64Packed(double prev)
       case kPackedIntegral: {
         int64_t base =
             packsIntegral(prev) ? static_cast<int64_t>(prev) : 0;
-        return static_cast<double>(base + vi64());
+        // Wrap-around add: a corrupted delta must decode to a garbage
+        // value (rejected downstream), not overflow into UB.
+        return static_cast<double>(addWrap(base, vi64()));
       }
       case kPackedRaw:
         return f64();

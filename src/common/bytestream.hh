@@ -173,6 +173,25 @@ class ByteReader
 };
 
 /**
+ * Two's-complement wrap-around addition of two signed 64-bit values.
+ * Delta decoders reconstruct absolute values as base + decoded delta;
+ * on a corrupted stream that sum can exceed the int64 range, and a
+ * plain `+` would be undefined behaviour. Computing in uint64 keeps
+ * the wrap defined: a garbage delta yields a garbage (but
+ * deterministic) value that downstream validation rejects, never UB.
+ *
+ * @param base Previous absolute value.
+ * @param delta Decoded delta.
+ * @return The wrapped sum.
+ */
+inline int64_t
+addWrap(int64_t base, int64_t delta)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(base) +
+                                static_cast<uint64_t>(delta));
+}
+
+/**
  * FNV-1a 64-bit hash (store file names and other short keys).
  *
  * @param data Bytes to hash.

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/stats_math.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 namespace core {
@@ -205,13 +206,16 @@ decodeSeqPointOptions(ByteReader &r)
     opts.errorThreshold = r.f64();
     opts.maxBins = r.u32();
     uint32_t binning = r.u32();
-    fatal_if(binning > static_cast<uint32_t>(BinningMode::EqualFrequency),
-             "%s: invalid binning mode %u", r.what().c_str(), binning);
+    if (binning > static_cast<uint32_t>(BinningMode::EqualFrequency)) {
+        r.fail(csprintf("%s: invalid binning mode %u",
+                        r.what().c_str(), binning));
+    }
     opts.binning = static_cast<BinningMode>(binning);
     uint32_t pick = r.u32();
-    fatal_if(pick > static_cast<uint32_t>(RepPick::MostFrequent),
-             "%s: invalid representative-pick policy %u",
-             r.what().c_str(), pick);
+    if (pick > static_cast<uint32_t>(RepPick::MostFrequent)) {
+        r.fail(csprintf("%s: invalid representative-pick policy %u",
+                        r.what().c_str(), pick));
+    }
     opts.repPick = static_cast<RepPick>(pick);
     return opts;
 }
@@ -236,9 +240,11 @@ decodeSeqPointSet(ByteReader &r)
 {
     SeqPointSet set;
     uint64_t n = r.u64();
-    fatal_if(n > r.remaining() / 24,
-             "%s: SeqPoint count %llu exceeds the payload",
-             r.what().c_str(), static_cast<unsigned long long>(n));
+    if (n > r.remaining() / 24) {
+        r.fail(csprintf("%s: SeqPoint count %llu exceeds the payload",
+                        r.what().c_str(),
+                        static_cast<unsigned long long>(n)));
+    }
     set.points.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
         SeqPointRecord p;

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 namespace core {
@@ -134,16 +136,26 @@ SlStats
 decodeSlStats(ByteReader &r)
 {
     uint64_t n = r.u64();
-    fatal_if(n > r.remaining() / 24,
-             "%s: SL-entry count %llu exceeds the payload",
-             r.what().c_str(), static_cast<unsigned long long>(n));
+    if (n > r.remaining() / 24) {
+        r.fail(csprintf("%s: SL-entry count %llu exceeds the payload",
+                        r.what().c_str(),
+                        static_cast<unsigned long long>(n)));
+    }
     std::vector<SlEntry> entries;
     entries.reserve(static_cast<size_t>(n));
+    std::set<int64_t> seen;
     for (uint64_t i = 0; i < n; ++i) {
         SlEntry e;
         e.seqLen = r.i64();
         e.freq = r.u64();
         e.statValue = r.f64();
+        // Reject duplicates here so a corrupt payload fails in the
+        // reader's own mode instead of tripping fromEntries' panic.
+        if (!seen.insert(e.seqLen).second) {
+            r.fail(csprintf("%s: duplicate SL entry %lld",
+                            r.what().c_str(),
+                            static_cast<long long>(e.seqLen)));
+        }
         entries.push_back(e);
     }
     return SlStats::fromEntries(std::move(entries));

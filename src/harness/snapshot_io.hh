@@ -47,8 +47,13 @@ namespace harness {
  * v2: the timing-cache section (~95% of a v1 file) moved to the
  * canonically-ordered varint/delta form (sim::encodeTimingSection);
  * v1 files are rejected loudly, as designed.
+ *
+ * v3: byte layout identical to v2; bumped for the decode-hardening
+ * sweep (fatal_if -> recoverable fail on corrupt payloads, wrap-safe
+ * delta arithmetic) so the codec content pins could be regenerated
+ * under the lint ratchet. v2 stores rebuild on first use.
  */
-constexpr uint32_t kSnapshotFormatVersion = 2;
+constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /**
  * Full identity of a snapshot: everything the snapshotted state is a

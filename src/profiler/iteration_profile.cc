@@ -6,6 +6,7 @@
 #include "profiler/iteration_profile.hh"
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 namespace prof {
@@ -67,9 +68,11 @@ decodeIterationProfile(ByteReader &r)
     p.launches = r.u64();
     p.counters = sim::decodeCounters(r);
     uint32_t classes = r.u32();
-    fatal_if(classes != sim::numKernelClasses,
-             "%s: profile has %u kernel classes, this build expects %u",
-             r.what().c_str(), classes, sim::numKernelClasses);
+    if (classes != sim::numKernelClasses) {
+        r.fail(csprintf(
+            "%s: profile has %u kernel classes, this build expects %u",
+            r.what().c_str(), classes, sim::numKernelClasses));
+    }
     for (double &t : p.classTimeSec)
         t = r.f64();
     return p;

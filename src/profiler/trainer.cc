@@ -9,6 +9,7 @@
 
 #include "common/cancel.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 namespace prof {
@@ -67,9 +68,11 @@ decodeTrainLog(ByteReader &r)
     uint64_t n = r.u64();
     // 16 bytes per iteration: an absurd count means a corrupt length
     // field, so reject it before reserve() tries to honour it.
-    fatal_if(n > r.remaining() / 16,
-             "%s: iteration count %llu exceeds the payload",
-             r.what().c_str(), static_cast<unsigned long long>(n));
+    if (n > r.remaining() / 16) {
+        r.fail(csprintf("%s: iteration count %llu exceeds the payload",
+                        r.what().c_str(),
+                        static_cast<unsigned long long>(n)));
+    }
     log.iterations.reserve(static_cast<size_t>(n));
     for (uint64_t i = 0; i < n; ++i) {
         IterationLog it;

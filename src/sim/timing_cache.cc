@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace seqpoint {
 namespace sim {
@@ -113,6 +114,9 @@ KernelTimingCache::snapshotEntries() const
     MutexLock lock(mu);
     std::vector<TimingCacheEntry> out;
     out.reserve(entries.size());
+    // Hash-order here is fine: every consumer that serialises or
+    // exports these entries sorts them first (encodeTimingSection's
+    // signatureLess pass). seqlint:canonical-order
     for (const auto &[sig, timing] : entries)
         out.push_back(TimingCacheEntry{sig, timing});
     return out;
@@ -168,9 +172,11 @@ decodeTimingCacheEntry(ByteReader &r)
 {
     TimingCacheEntry e;
     uint32_t klass = r.u32();
-    fatal_if(klass >= numKernelClasses,
-             "%s: invalid kernel class %u in timing-cache entry",
-             r.what().c_str(), klass);
+    if (klass >= numKernelClasses) {
+        r.fail(csprintf(
+            "%s: invalid kernel class %u in timing-cache entry",
+            r.what().c_str(), klass));
+    }
     e.sig.klass = static_cast<KernelClass>(klass);
     e.sig.flops = r.f64();
     e.sig.bytesIn = r.f64();
@@ -235,6 +241,8 @@ encodeTimingSection(ByteWriter &w,
 {
     std::vector<const TimingCacheEntry *> order;
     order.reserve(entries.size());
+    // seqlint:canonical-order -- `entries` is the caller's vector
+    // (any order); the sort below canonicalises before encoding.
     for (const TimingCacheEntry &e : entries)
         order.push_back(&e);
     std::sort(order.begin(), order.end(),
@@ -285,13 +293,16 @@ decodeTimingSection(ByteReader &r)
     for (uint64_t i = 0; i < n; ++i) {
         TimingCacheEntry e;
         uint8_t klass = r.u8();
-        fatal_if(klass >= numKernelClasses,
-                 "%s: invalid kernel class %u in timing section",
-                 r.what().c_str(), klass);
+        if (klass >= numKernelClasses) {
+            r.fail(csprintf(
+                "%s: invalid kernel class %u in timing section",
+                r.what().c_str(), klass));
+        }
         e.sig.klass = static_cast<KernelClass>(klass);
-        e.sig.gemmM = prev.sig.gemmM + r.vi64();
-        e.sig.gemmN = prev.sig.gemmN + r.vi64();
-        e.sig.gemmK = prev.sig.gemmK + r.vi64();
+        // addWrap: corrupted deltas must not overflow into UB.
+        e.sig.gemmM = addWrap(prev.sig.gemmM, r.vi64());
+        e.sig.gemmN = addWrap(prev.sig.gemmN, r.vi64());
+        e.sig.gemmK = addWrap(prev.sig.gemmK, r.vi64());
         e.sig.flops = r.f64Packed(prev.sig.flops);
         e.sig.bytesIn = r.f64Packed(prev.sig.bytesIn);
         e.sig.bytesOut = r.f64Packed(prev.sig.bytesOut);

@@ -138,6 +138,40 @@ TEST(LintFixtures, ViolationsTreeTripsEveryRule)
     EXPECT_TRUE(rules.count("codec-pin"));
     EXPECT_TRUE(rules.count("bench-gate"));
     EXPECT_TRUE(rules.count("error-code"));
+    EXPECT_TRUE(rules.count("unordered-iter"));
+    EXPECT_TRUE(rules.count("nondeterminism"));
+    EXPECT_TRUE(rules.count("float-reduce"));
+    EXPECT_TRUE(rules.count("fuzz-coverage"));
+}
+
+TEST(LintFixtures, ViolationsRenderAsJson)
+{
+    Options opts;
+    opts.root = kFixtures + "/violations_tree";
+    std::vector<Violation> vs;
+    ASSERT_TRUE(runLint(opts, vs));
+    ASSERT_FALSE(vs.empty());
+
+    std::string json = violationsJson(vs);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\"rule\": \"unordered-iter\""), std::string::npos);
+    EXPECT_NE(json.find("\"file\": \"src/det.cc\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": "), std::string::npos);
+    // Messages quote source (e.g. 'for (...)') and must be escaped.
+    EXPECT_EQ(json.find('\t'), std::string::npos);
+
+    EXPECT_EQ(violationsJson({}), "[]\n");
+
+    Violation hostile;
+    hostile.rule = "x";
+    hostile.file = "a\"b";
+    hostile.line = 1;
+    hostile.message = "quote \" slash \\ newline \n tab \t end";
+    std::string escaped = violationsJson({hostile});
+    EXPECT_NE(escaped.find("a\\\"b"), std::string::npos);
+    EXPECT_NE(escaped.find("\\\\ newline \\n tab \\t end"),
+              std::string::npos);
 }
 
 TEST(LintFixtures, ViolationsTreeFlagsBothDiscardShapes)
@@ -213,6 +247,121 @@ TEST_F(UpdatePins, RefusesRepinWithoutVersionBump)
               "constexpr unsigned kSnapshotFormatVersion = 3;\n");
     error.clear();
     EXPECT_TRUE(updateCodecPins(opts_, error)) << error;
+}
+
+/**
+ * Determinism-rule ratchet semantics: start from a copy of the clean
+ * fixture tree and verify that removing an escape hatch (annotation,
+ * allowlist pin) or adding an uncovered decoder re-trips the rule.
+ */
+class DeterminismRules : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("seqlint_det_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        fs::remove_all(root_);
+        fs::copy(kFixtures + "/clean_tree", root_,
+                 fs::copy_options::recursive);
+        opts_.root = root_.string();
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    // Replaces `from` with `to` in the tree-relative file `rel`.
+    void
+    patchFile(const std::string &rel, const std::string &from,
+              const std::string &to)
+    {
+        std::ifstream in(root_ / rel);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        auto at = text.find(from);
+        ASSERT_NE(at, std::string::npos) << rel << ": " << from;
+        text.replace(at, from.size(), to);
+        writeFile(root_ / rel, text);
+    }
+
+    std::set<std::string>
+    lintRules()
+    {
+        std::vector<Violation> vs;
+        EXPECT_TRUE(runLint(opts_, vs));
+        return rulesOf(vs);
+    }
+
+    fs::path root_;
+    Options opts_;
+};
+
+TEST_F(DeterminismRules, CopiedCleanTreeStartsClean)
+{
+    EXPECT_TRUE(lintRules().empty());
+}
+
+TEST_F(DeterminismRules, RemovingCanonicalOrderAnnotationTrips)
+{
+    patchFile("src/det.cc", "seqlint:canonical-order", "(removed)");
+    EXPECT_TRUE(lintRules().count("unordered-iter"));
+}
+
+TEST_F(DeterminismRules, AnnotationMoreThanTwoLinesAwayDoesNotCount)
+{
+    // Push the tag out of the recognised window (flagged line plus the
+    // two lines above it).
+    patchFile("src/det.cc", "output. seqlint:canonical-order\n",
+              "output. seqlint:canonical-order\n    //\n    //\n");
+    EXPECT_TRUE(lintRules().count("unordered-iter"));
+}
+
+TEST_F(DeterminismRules, StaleDeterminismPinTrips)
+{
+    patchFile("tools/seqpoint_lint/determinism_allowlist.txt",
+              "src/det.cc#", "src/det.cc#ffffffffffffffff ");
+    EXPECT_TRUE(lintRules().count("unordered-iter"));
+}
+
+TEST_F(DeterminismRules, UnlistedClockTokenTrips)
+{
+    patchFile("tools/seqpoint_lint/nondeterminism_allowlist.txt",
+              "src/det.cc:steady_clock", "# (pin retired)");
+    EXPECT_TRUE(lintRules().count("nondeterminism"));
+}
+
+TEST_F(DeterminismRules, RemovingReduceAnnotationTrips)
+{
+    patchFile("src/det.cc", "seqlint:deterministic-reduce", "(removed)");
+    EXPECT_TRUE(lintRules().count("float-reduce"));
+}
+
+TEST_F(DeterminismRules, PerSlotWritesStayExempt)
+{
+    // The slots[i] compound assignments are single-writer-per-index and
+    // must not need an annotation: retire every escape hatch except the
+    // ones covering the two named reductions.
+    patchFile("src/det.cc", "slots[i] += 1.0;", "slots[i] += 3.0;");
+    EXPECT_FALSE(lintRules().count("float-reduce"));
+}
+
+TEST_F(DeterminismRules, NewDecoderWithoutHarnessTrips)
+{
+    patchFile("src/codec2.cc", "struct ByteReader;",
+              "struct ByteReader;\nint decodeOther(ByteReader &r);\n");
+    EXPECT_TRUE(lintRules().count("fuzz-coverage"));
+}
+
+TEST_F(DeterminismRules, MissingRegistryIsAConfigError)
+{
+    fs::remove(root_ / "tools/seqpoint_lint/fuzz_harnesses.txt");
+    std::vector<Violation> vs;
+    EXPECT_FALSE(runLint(opts_, vs));
 }
 
 TEST(LintTree, RepositoryIsClean)

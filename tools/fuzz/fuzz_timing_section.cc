@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fuzz harness for the timing-cache codecs: the delta/varint-packed
+ * timing section, single timing-cache entries, and the counter
+ * blocks they embed.
+ *
+ * The first input byte selects the decoder; the rest is the payload.
+ * A decode must either succeed or raise RecoverableError(Corruption).
+ * On success the result is re-encoded and re-decoded: the second
+ * encode must be a byte-level fixed point (the writer's encoding is
+ * canonical), and for the section -- which sorts entries into
+ * canonical signature order on encode -- the decoded entry multiset
+ * must survive unchanged.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytestream.hh"
+#include "common/status.hh"
+#include "sim/counters.hh"
+#include "sim/timing_cache.hh"
+
+#include "fuzz_util.hh"
+
+namespace {
+
+using namespace seqpoint;
+using namespace seqpoint::sim;
+
+/** Canonical byte image of one entry (bit-exact field compare). */
+std::string
+entryBytes(const TimingCacheEntry &e)
+{
+    ByteWriter w;
+    encodeTimingCacheEntry(w, e);
+    return w.data();
+}
+
+void
+fuzzSection(std::string_view payload)
+{
+    ByteReader r(payload, "fuzz-timing-section",
+                 ByteReader::OnError::Throw);
+    std::vector<TimingCacheEntry> es = decodeTimingSection(r);
+
+    // Re-encode (sorts into canonical signature order) and re-decode
+    // in Fatal mode: writer output that fails its own decoder is a
+    // codec bug, not corrupt input.
+    ByteWriter w;
+    encodeTimingSection(w, es);
+    ByteReader r2(w.data(), "fuzz-timing-section-rt",
+                  ByteReader::OnError::Fatal);
+    std::vector<TimingCacheEntry> es2 = decodeTimingSection(r2);
+
+    // The round trip may reorder (canonical sort) but must preserve
+    // the entry multiset bit-exactly.
+    std::vector<std::string> a, b;
+    for (const TimingCacheEntry &e : es)
+        a.push_back(entryBytes(e));
+    for (const TimingCacheEntry &e : es2)
+        b.push_back(entryBytes(e));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b)
+        std::abort();
+}
+
+void
+fuzzEntry(std::string_view payload)
+{
+    ByteReader r(payload, "fuzz-timing-entry",
+                 ByteReader::OnError::Throw);
+    TimingCacheEntry e = decodeTimingCacheEntry(r);
+    ByteWriter w;
+    encodeTimingCacheEntry(w, e);
+    ByteReader r2(w.data(), "fuzz-timing-entry-rt",
+                  ByteReader::OnError::Fatal);
+    if (entryBytes(decodeTimingCacheEntry(r2)) != w.data())
+        std::abort();
+}
+
+void
+fuzzCounters(std::string_view payload)
+{
+    ByteReader r(payload, "fuzz-counters",
+                 ByteReader::OnError::Throw);
+    PerfCounters c = decodeCounters(r);
+    ByteWriter w;
+    encodeCounters(w, c);
+    ByteReader r2(w.data(), "fuzz-counters-rt",
+                  ByteReader::OnError::Fatal);
+    PerfCounters c2 = decodeCounters(r2);
+    ByteWriter w2;
+    encodeCounters(w2, c2);
+    if (w2.data() != w.data())
+        std::abort();
+}
+
+void
+fuzzCountersPacked(std::string_view payload)
+{
+    ByteReader r(payload, "fuzz-counters-packed",
+                 ByteReader::OnError::Throw);
+    PerfCounters prev; // zero delta base, as the section decoder uses
+    PerfCounters c = decodeCountersPacked(r, prev);
+    ByteWriter w;
+    encodeCountersPacked(w, c, prev);
+    ByteReader r2(w.data(), "fuzz-counters-packed-rt",
+                  ByteReader::OnError::Fatal);
+    PerfCounters c2 = decodeCountersPacked(r2, prev);
+    ByteWriter w2;
+    encodeCountersPacked(w2, c2, prev);
+    if (w2.data() != w.data())
+        std::abort();
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size < 1)
+        return 0;
+    std::string_view payload(reinterpret_cast<const char *>(data) + 1,
+                             size - 1);
+    try {
+        switch (data[0] & 0x3) {
+          case 0:
+            fuzzSection(payload);
+            break;
+          case 1:
+            fuzzEntry(payload);
+            break;
+          case 2:
+            fuzzCounters(payload);
+            break;
+          case 3:
+            fuzzCountersPacked(payload);
+            break;
+        }
+    } catch (const RecoverableError &) {
+        // Typed rejection is the contract for corrupt input.
+    }
+    return 0;
+}

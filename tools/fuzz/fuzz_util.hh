@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared scaffolding for the snapshot-codec fuzz harnesses.
+ *
+ * Every harness defines the libFuzzer entry point
+ * LLVMFuzzerTestOneInput(). Built with -DSEQPOINT_FUZZ=ON (Clang,
+ * -fsanitize=fuzzer), that is the whole program -- libFuzzer drives
+ * the mutation loop. In the default build (any compiler, no fuzzer
+ * runtime) this header supplies a standalone main() that replays
+ * corpus files named on the command line, so the checked-in corpus
+ * doubles as a regression suite runnable under ctest and under
+ * whatever sanitizers the build was configured with.
+ */
+
+#ifndef SEQPOINT_FUZZ_UTIL_HH
+#define SEQPOINT_FUZZ_UTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data,
+                                      size_t size);
+
+#ifndef SEQPOINT_FUZZ_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            continue; // tolerate libFuzzer-style flags in replay mode
+        fs::path p(argv[i]);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &e : fs::directory_iterator(p, ec)) {
+                if (e.is_regular_file())
+                    inputs.push_back(e.path());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            inputs.push_back(p);
+        } else {
+            std::fprintf(stderr, "fuzz replay: no such input: %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    std::sort(inputs.begin(), inputs.end());
+
+    for (const fs::path &p : inputs) {
+        std::ifstream in(p, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const uint8_t *>(bytes.data()),
+            bytes.size());
+    }
+    std::printf("replayed %zu input(s)\n", inputs.size());
+    return 0;
+}
+
+#endif // !SEQPOINT_FUZZ_LIBFUZZER
+
+#endif // SEQPOINT_FUZZ_UTIL_HH

@@ -1,0 +1,9 @@
+// Fixture fuzz harness: exercises the fixture codec's entry point.
+struct ByteReader;
+int decodeWidget(ByteReader &r);
+
+void
+fuzzOne(ByteReader &r)
+{
+    decodeWidget(r);
+}

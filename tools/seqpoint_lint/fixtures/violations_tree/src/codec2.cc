@@ -1,0 +1,9 @@
+// Fixture codec for rule 9: decodeWidget is not called by any
+// registered fuzz harness.
+struct ByteReader;
+
+int
+decodeWidget(ByteReader &r)
+{
+    return 0;
+}

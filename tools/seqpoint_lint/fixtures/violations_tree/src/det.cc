@@ -1,0 +1,17 @@
+// Fixture: trips the unordered-iter, nondeterminism and float-reduce
+// rules.
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int
+exportThing()
+{
+    int sum = 0;
+    for (const auto &[k, v] : table)
+        sum += v;
+    sum += rand();
+    double total = 0.0;
+    parallelFor(4, [&](std::size_t i) { total += 1.0; });
+    return sum + static_cast<int>(total);
+}

@@ -1,0 +1,5 @@
+// Fixture fuzz harness that deliberately covers nothing.
+void
+fuzzOne()
+{
+}

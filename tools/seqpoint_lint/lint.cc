@@ -860,6 +860,502 @@ ruleErrorCodes(const Options &opts, std::vector<Violation> &out)
     return true;
 }
 
+// ---------------------------------------------------------------
+// Shared helpers for rules 6-9.
+// ---------------------------------------------------------------
+
+/** Whether `word` occurs in `text` with identifier boundaries. */
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    std::size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        bool lb = pos == 0 || !isIdentChar(text[pos - 1]);
+        bool rb = pos + word.size() >= text.size() ||
+                  !isIdentChar(text[pos + word.size()]);
+        if (lb && rb)
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/**
+ * Whether the raw (unstripped) source carries the escape-hatch
+ * annotation `tag` on the flagged line or within the two lines above
+ * it. Annotations are comments, so they must be checked against the
+ * raw text -- the rule scans run on stripped text.
+ */
+bool
+hasAnnotation(const std::string &raw, int line, const char *tag)
+{
+    std::istringstream in(raw);
+    std::string l;
+    int n = 0;
+    while (std::getline(in, l)) {
+        ++n;
+        if (n > line)
+            break;
+        if (n >= line - 2 && l.find(tag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Every .cc/.hh file under src/ and bench/, sorted, as
+ *  (relpath, raw text) pairs. */
+std::vector<std::pair<std::string, std::string>>
+sourceFiles(const Options &opts)
+{
+    std::vector<std::pair<std::string, std::string>> files;
+    std::error_code ec;
+    for (const char *top : {"src", "bench"}) {
+        fs::path dir = fs::path(opts.root) / top;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir, ec)) {
+            if (!entry.is_regular_file())
+                continue;
+            fs::path p = entry.path();
+            if (p.extension() != ".cc" && p.extension() != ".hh")
+                continue;
+            std::string text;
+            if (!readFile(p, text))
+                continue;
+            files.emplace_back(
+                fs::relative(p, opts.root).generic_string(),
+                std::move(text));
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+// ---------------------------------------------------------------
+// Rule 6: unordered-container iteration on determinism-critical
+// paths.
+// ---------------------------------------------------------------
+
+/** Collect identifiers declared with an unordered container type. */
+void
+collectUnorderedNames(const std::string &stripped,
+                      std::set<std::string> &names)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        if (!isIdentChar(stripped[i]))
+            continue;
+        std::size_t start = i;
+        while (i < stripped.size() && isIdentChar(stripped[i]))
+            ++i;
+        std::string word = stripped.substr(start, i - start);
+        if (word != "unordered_map" && word != "unordered_set" &&
+            word != "unordered_multimap" &&
+            word != "unordered_multiset")
+            continue;
+        std::size_t j = skipWs(stripped, i);
+        if (j >= stripped.size() || stripped[j] != '<')
+            continue;
+        int depth = 0;
+        for (; j < stripped.size(); ++j) {
+            if (stripped[j] == '<')
+                ++depth;
+            else if (stripped[j] == '>' && --depth == 0) {
+                ++j;
+                break;
+            }
+        }
+        j = skipWs(stripped, j);
+        // A qualified use (::iterator, ::value_type) is not a
+        // declaration.
+        if (j + 1 < stripped.size() && stripped[j] == ':' &&
+            stripped[j + 1] == ':')
+            continue;
+        while (j < stripped.size() &&
+               (stripped[j] == '&' || stripped[j] == '*'))
+            j = skipWs(stripped, j + 1);
+        std::size_t name_start = j;
+        while (j < stripped.size() && isIdentChar(stripped[j]))
+            ++j;
+        if (j > name_start)
+            names.insert(stripped.substr(name_start, j - name_start));
+        if (j > i)
+            i = j - 1;
+    }
+}
+
+bool
+ruleUnorderedIter(const Options &opts, std::vector<Violation> &out)
+{
+    fs::path cfg = fs::path(opts.root) / "tools" / "seqpoint_lint";
+    std::vector<std::string> paths, allow;
+    if (!readListFile(cfg / "determinism_paths.txt", paths)) {
+        out.push_back({"config",
+                       "tools/seqpoint_lint/determinism_paths.txt", 0,
+                       "cannot read determinism path registry"});
+        return false;
+    }
+    readListFile(cfg / "determinism_allowlist.txt", allow); // optional
+    std::set<std::string> allowed(allow.begin(), allow.end());
+
+    for (const std::string &rel : paths) {
+        std::string src;
+        fs::path p = fs::path(opts.root) / rel;
+        if (!readFile(p, src)) {
+            out.push_back({"config", rel, 0,
+                           "determinism_paths.txt names a missing "
+                           "file"});
+            return false;
+        }
+        std::string stripped = stripComments(src, true);
+
+        std::set<std::string> names;
+        collectUnorderedNames(stripped, names);
+        // A .cc file's unordered members usually live in its header.
+        if (p.extension() == ".cc") {
+            std::string hdr;
+            if (readFile(fs::path(p).replace_extension(".hh"), hdr))
+                collectUnorderedNames(stripComments(hdr, true), names);
+        }
+        if (names.empty())
+            continue;
+
+        for (const LoopSite &loop : findLoops(stripped)) {
+            const std::string *hit = nullptr;
+            for (const std::string &n : names) {
+                if (containsWord(loop.header, n)) {
+                    hit = &n;
+                    break;
+                }
+            }
+            if (!hit)
+                continue;
+            if (hasAnnotation(src, loop.line,
+                              "seqlint:canonical-order"))
+                continue;
+            std::string key = loopKey(rel, loop);
+            if (allowed.count(key))
+                continue;
+            out.push_back(
+                {"unordered-iter", rel, loop.line,
+                 "loop '" + loop.header + "' iterates unordered "
+                 "container '" + *hit + "' on a determinism-critical "
+                 "path; canonicalise the order downstream and "
+                 "annotate the loop with 'seqlint:canonical-order', "
+                 "or pin key " + key +
+                 " in determinism_allowlist.txt"});
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Rule 7: unseeded randomness / wall-clock in measured paths.
+// ---------------------------------------------------------------
+
+bool
+ruleNondeterminism(const Options &opts, std::vector<Violation> &out)
+{
+    fs::path cfg = fs::path(opts.root) / "tools" / "seqpoint_lint";
+    std::vector<std::string> allow;
+    readListFile(cfg / "nondeterminism_allowlist.txt",
+                 allow); // optional
+    std::set<std::string> allowed(allow.begin(), allow.end());
+
+    static const char *const tokens[] = {
+        "rand",          "srand",        "drand48",
+        "lrand48",       "random_device", "steady_clock",
+        "system_clock",  "high_resolution_clock",
+        "clock_gettime", "gettimeofday",
+    };
+
+    for (const auto &[rel, text] : sourceFiles(opts)) {
+        // The sanctioned seeded-RNG wrapper is the one place allowed
+        // to touch raw entropy primitives.
+        if (rel == "src/common/rng.hh" || rel == "src/common/rng.cc")
+            continue;
+        std::string stripped = stripComments(text, true);
+        for (const char *token : tokens) {
+            if (allowed.count(rel + ":" + token))
+                continue;
+            std::size_t pos = 0;
+            std::string tok(token);
+            while ((pos = stripped.find(tok, pos)) !=
+                   std::string::npos) {
+                bool lb = pos == 0 || !isIdentChar(stripped[pos - 1]);
+                std::size_t end = pos + tok.size();
+                bool rb = end >= stripped.size() ||
+                          !isIdentChar(stripped[end]);
+                if (lb && rb) {
+                    out.push_back(
+                        {"nondeterminism", rel,
+                         lineOf(stripped, pos),
+                         "'" + tok + "' in a measured path: route "
+                         "randomness through common/rng.hh (seeded) "
+                         "and timing through the harness clock, or "
+                         "allowlist '" + rel + ":" + tok +
+                         "' in nondeterminism_allowlist.txt"});
+                }
+                pos = end;
+            }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Rule 8: float-reduction order in parallelFor lambdas.
+// ---------------------------------------------------------------
+
+/**
+ * The loop-variable name of the first lambda in a parallelFor
+ * argument list: the last identifier of the lambda's parameter list
+ * ("i" in "[&](std::size_t i)"). Empty when there is no inline
+ * lambda (the body is a named callable).
+ */
+std::string
+lambdaIndexName(const std::string &args)
+{
+    std::size_t lb = args.find('[');
+    if (lb == std::string::npos)
+        return "";
+    std::size_t rb = args.find(']', lb);
+    if (rb == std::string::npos)
+        return "";
+    std::size_t open = skipWs(args, rb + 1);
+    if (open >= args.size() || args[open] != '(')
+        return "";
+    std::size_t close = matchParen(args, open);
+    if (close == std::string::npos)
+        return "";
+    std::string params = args.substr(open + 1, close - open - 1);
+    std::size_t end = params.size();
+    while (end > 0 && !isIdentChar(params[end - 1]))
+        --end;
+    std::size_t start = end;
+    while (start > 0 && isIdentChar(params[start - 1]))
+        --start;
+    return params.substr(start, end - start);
+}
+
+bool
+ruleFloatReduce(const Options &opts, std::vector<Violation> &out)
+{
+    fs::path cfg = fs::path(opts.root) / "tools" / "seqpoint_lint";
+    std::vector<std::string> allow;
+    readListFile(cfg / "float_reduce_allowlist.txt",
+                 allow); // optional
+    std::set<std::string> allowed(allow.begin(), allow.end());
+
+    static const char *const ops[] = {"+=", "-=", "*="};
+
+    for (const auto &[rel, text] : sourceFiles(opts)) {
+        std::string stripped = stripComments(text, true);
+        std::size_t pos = 0;
+        while ((pos = stripped.find("parallelFor", pos)) !=
+               std::string::npos) {
+            std::size_t at = pos;
+            pos += 11;
+            bool lb = at == 0 || !isIdentChar(stripped[at - 1]);
+            bool rb = pos >= stripped.size() ||
+                      !isIdentChar(stripped[pos]);
+            if (!lb || !rb)
+                continue;
+            std::size_t open = skipWs(stripped, pos);
+            if (open >= stripped.size() || stripped[open] != '(')
+                continue;
+            std::size_t close = matchParen(stripped, open);
+            if (close == std::string::npos)
+                continue;
+            std::string args =
+                stripped.substr(open + 1, close - open - 1);
+            std::string index = lambdaIndexName(args);
+
+            for (const char *op : ops) {
+                std::size_t p = 0;
+                while ((p = args.find(op, p)) != std::string::npos) {
+                    std::size_t op_at = p;
+                    p += 2;
+                    // Statement: previous ';'/'{'/'}' to next ';'.
+                    std::size_t sb = op_at;
+                    while (sb > 0 && args[sb - 1] != ';' &&
+                           args[sb - 1] != '{' && args[sb - 1] != '}')
+                        --sb;
+                    std::size_t se = args.find(';', op_at);
+                    if (se == std::string::npos)
+                        se = args.size();
+                    std::string stmt = normalizeWs(
+                        args.substr(sb, se - sb));
+                    std::string lhs = trim(args.substr(sb, op_at - sb));
+                    // A per-slot write indexed by the lambda's own
+                    // index is deterministic: each slot has exactly
+                    // one writer.
+                    if (!index.empty() &&
+                        lhs.size() >= index.size() + 2 &&
+                        lhs.back() == ']' &&
+                        lhs.compare(lhs.size() - index.size() - 2,
+                                    index.size() + 2,
+                                    "[" + index + "]") == 0)
+                        continue;
+                    int line = lineOf(stripped, open + 1 + op_at);
+                    if (hasAnnotation(text, line,
+                                      "seqlint:deterministic-reduce"))
+                        continue;
+                    std::string key =
+                        rel + "#" + hashHex(fnv1a64(stmt));
+                    if (allowed.count(key))
+                        continue;
+                    out.push_back(
+                        {"float-reduce", rel, line,
+                         "accumulation '" + stmt + "' inside a "
+                         "parallelFor lambda commits to the thread "
+                         "schedule's summation order; fold through "
+                         "parallelReduceSum (deterministic in-order "
+                         "reduce), annotate the statement with "
+                         "'seqlint:deterministic-reduce', or pin "
+                         "key " + key +
+                         " in float_reduce_allowlist.txt"});
+                }
+            }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Rule 9: fuzz-entry coverage of the snapshot codec.
+// ---------------------------------------------------------------
+
+/** One codec entry point that must be reachable from a harness. */
+struct FuzzEntry {
+    std::string name; ///< Function name ("decodeCounters", "vu64").
+    std::string rel;  ///< File that defines/declares it.
+    int line = 0;
+    bool method = false; ///< ByteReader method vs free decode*().
+};
+
+/**
+ * Collect fuzzable entry points from a codec file: free functions
+ * named decode* taking a ByteReader (or ByteReader::OnError), and
+ * out-of-line ByteReader method definitions.
+ */
+void
+collectFuzzEntries(const std::string &stripped, const std::string &rel,
+                   std::map<std::string, FuzzEntry> &entries)
+{
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        if (!isIdentChar(stripped[i]))
+            continue;
+        std::size_t start = i;
+        while (i < stripped.size() && isIdentChar(stripped[i]))
+            ++i;
+        std::string word = stripped.substr(start, i - start);
+
+        if (word.rfind("decode", 0) == 0 && word.size() > 6) {
+            std::size_t open = skipWs(stripped, i);
+            if (open >= stripped.size() || stripped[open] != '(')
+                continue;
+            std::size_t close = matchParen(stripped, open);
+            if (close == std::string::npos)
+                continue;
+            std::string params =
+                stripped.substr(open + 1, close - open - 1);
+            if (params.find("ByteReader") == std::string::npos)
+                continue;
+            entries.emplace(word,
+                            FuzzEntry{word, rel,
+                                      lineOf(stripped, start), false});
+        } else if (word == "ByteReader") {
+            std::size_t j = skipWs(stripped, i);
+            if (j + 1 >= stripped.size() || stripped[j] != ':' ||
+                stripped[j + 1] != ':')
+                continue;
+            j = skipWs(stripped, j + 2);
+            std::size_t name_start = j;
+            while (j < stripped.size() && isIdentChar(stripped[j]))
+                ++j;
+            std::string name =
+                stripped.substr(name_start, j - name_start);
+            std::size_t open = skipWs(stripped, j);
+            if (name.empty() || name == "ByteReader" ||
+                open >= stripped.size() || stripped[open] != '(')
+                continue;
+            entries.emplace("ByteReader::" + name,
+                            FuzzEntry{name, rel,
+                                      lineOf(stripped, name_start),
+                                      true});
+        }
+    }
+}
+
+bool
+ruleFuzzCoverage(const Options &opts, std::vector<Violation> &out)
+{
+    fs::path cfg = fs::path(opts.root) / "tools" / "seqpoint_lint";
+    std::vector<std::string> codec_files, harnesses, allow;
+    if (!readListFile(cfg / "fuzz_codec_files.txt", codec_files)) {
+        out.push_back({"config",
+                       "tools/seqpoint_lint/fuzz_codec_files.txt", 0,
+                       "cannot read fuzz codec-file registry"});
+        return false;
+    }
+    if (!readListFile(cfg / "fuzz_harnesses.txt", harnesses)) {
+        out.push_back({"config",
+                       "tools/seqpoint_lint/fuzz_harnesses.txt", 0,
+                       "cannot read fuzz harness registry"});
+        return false;
+    }
+    readListFile(cfg / "fuzz_coverage_allowlist.txt",
+                 allow); // optional
+    std::set<std::string> allowed(allow.begin(), allow.end());
+
+    std::map<std::string, FuzzEntry> entries;
+    for (const std::string &rel : codec_files) {
+        std::string text;
+        if (!readFile(fs::path(opts.root) / rel, text)) {
+            out.push_back({"config", rel, 0,
+                           "fuzz_codec_files.txt names a missing "
+                           "file"});
+            return false;
+        }
+        collectFuzzEntries(stripComments(text, true), rel, entries);
+    }
+
+    std::string harness_all;
+    for (const std::string &rel : harnesses) {
+        std::string text;
+        if (!readFile(fs::path(opts.root) / rel, text)) {
+            out.push_back({"config", rel, 0,
+                           "fuzz_harnesses.txt names a missing file"});
+            return false;
+        }
+        harness_all += stripComments(text, true);
+        harness_all += '\n';
+    }
+
+    for (const auto &[ident, e] : entries) {
+        std::string key = e.rel + ":" +
+            (e.method ? "ByteReader::" + e.name : e.name);
+        if (allowed.count(key))
+            continue;
+        bool covered = e.method
+            ? (harness_all.find("." + e.name + "(") !=
+                   std::string::npos ||
+               harness_all.find("->" + e.name + "(") !=
+                   std::string::npos)
+            : containsWord(harness_all, e.name);
+        if (covered)
+            continue;
+        out.push_back(
+            {"fuzz-coverage", e.rel, e.line,
+             "codec entry point '" + ident + "' is not exercised by "
+             "any harness in fuzz_harnesses.txt; extend a harness in "
+             "tools/fuzz/, or pin '" + key +
+             "' in fuzz_coverage_allowlist.txt"});
+    }
+    return true;
+}
+
 } // namespace
 
 bool
@@ -871,6 +1367,10 @@ runLint(const Options &opts, std::vector<Violation> &out)
     ok &= ruleCodecPins(opts, out);
     ok &= ruleBenchGates(opts, out);
     ok &= ruleErrorCodes(opts, out);
+    ok &= ruleUnorderedIter(opts, out);
+    ok &= ruleNondeterminism(opts, out);
+    ok &= ruleFloatReduce(opts, out);
+    ok &= ruleFuzzCoverage(opts, out);
     return ok;
 }
 
@@ -933,6 +1433,65 @@ updateCodecPins(const Options &opts, std::string &error)
     for (const auto &kv : fresh)
         outf << kv.second << " " << kv.first << "\n";
     return true;
+}
+
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+violationsJson(const std::vector<Violation> &violations)
+{
+    std::ostringstream ss;
+    ss << "[";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+        const Violation &v = violations[i];
+        if (i)
+            ss << ",";
+        ss << "\n  {\"rule\": \"" << jsonEscape(v.rule)
+           << "\", \"file\": \"" << jsonEscape(v.file)
+           << "\", \"line\": " << v.line << ", \"message\": \""
+           << jsonEscape(v.message) << "\"}";
+    }
+    ss << (violations.empty() ? "]\n" : "\n]\n");
+    return ss.str();
 }
 
 bool

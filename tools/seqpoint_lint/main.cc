@@ -17,6 +17,7 @@ main(int argc, char **argv)
     opts.root = ".";
     bool update_pins = false;
     bool list_loops = false;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--root") && i + 1 < argc) {
@@ -25,9 +26,14 @@ main(int argc, char **argv)
             update_pins = true;
         } else if (!std::strcmp(argv[i], "--list-loops")) {
             list_loops = true;
+        } else if (!std::strcmp(argv[i], "--format=json")) {
+            json = true;
+        } else if (!std::strcmp(argv[i], "--format=text")) {
+            json = false;
         } else {
             std::fprintf(stderr,
                          "usage: seqpoint_lint [--root DIR] "
+                         "[--format=text|json] "
                          "[--update-pins] [--list-loops]\n");
             return 2;
         }
@@ -57,17 +63,27 @@ main(int argc, char **argv)
 
     std::vector<seqlint::Violation> violations;
     bool ok = seqlint::runLint(opts, violations);
-    for (const auto &v : violations) {
-        std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(),
-                     v.line, v.rule.c_str(), v.message.c_str());
+    if (json) {
+        // Machine-readable: the JSON array is the whole stdout, so a
+        // CI step can pipe it straight into an annotation emitter.
+        std::fputs(seqlint::violationsJson(violations).c_str(),
+                   stdout);
+    } else {
+        for (const auto &v : violations) {
+            std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(),
+                         v.line, v.rule.c_str(), v.message.c_str());
+        }
     }
     if (!ok)
         return 2;
     if (!violations.empty()) {
-        std::fprintf(stderr, "seqpoint_lint: %zu violation(s)\n",
-                     violations.size());
+        if (!json) {
+            std::fprintf(stderr, "seqpoint_lint: %zu violation(s)\n",
+                         violations.size());
+        }
         return 1;
     }
-    std::printf("seqpoint_lint: clean\n");
+    if (!json)
+        std::printf("seqpoint_lint: clean\n");
     return 0;
 }
