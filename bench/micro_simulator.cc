@@ -172,6 +172,56 @@ BM_StreamHitRateSegments(benchmark::State &state)
 BENCHMARK(BM_StreamHitRateSegments);
 
 void
+BM_WarmGemmRewalk(benchmark::State &state)
+{
+    // Steady-state re-walk of a fully resident blocked GEMM on a
+    // persistent cache: the warm closed-form tier (arg 1) vs the PR 5
+    // engine with the warm tier disabled (arg 0).
+    sim::SegmentList segs = sim::genBlockedGemmSegments(128, 128, 64,
+                                                        32);
+    sim::CacheSim cache(kib(256), 8, 64);
+    sim::ReplayOptions opts;
+    opts.warmTier = state.range(0) != 0;
+    sim::replaySegmentsResume(cache, segs, opts); // install
+    for (auto _ : state) {
+        sim::replaySegmentsResume(cache, segs, opts);
+        benchmark::DoNotOptimize(cache.stats());
+    }
+    state.SetLabel(csprintf(
+        "tiers c/w/l %llu/%llu/%llu",
+        static_cast<unsigned long long>(
+            cache.stats().tiers.coldSegments),
+        static_cast<unsigned long long>(
+            cache.stats().tiers.warmSegments),
+        static_cast<unsigned long long>(
+            cache.stats().tiers.lineRunSegments)));
+}
+BENCHMARK(BM_WarmGemmRewalk)->Arg(0)->Arg(1);
+
+void
+BM_SegmentProbeKernel(benchmark::State &state)
+{
+    // The per-line probe loop on a probe-heavy hot/cold mix: scalar
+    // scan (arg 0) vs the vectorized kernel (arg 1, skipped when the
+    // host lacks it).
+    bool simd = state.range(0) != 0;
+    if (simd && !sim::CacheSim::simdProbeSupported()) {
+        state.SkipWithError("no vectorized probe on this host");
+        return;
+    }
+    Rng rng(13, 0x5eed);
+    sim::SegmentList segs =
+        sim::genHotColdSegments(20000, kib(64), mib(4), 0.7, rng);
+    sim::CacheSim cache(kib(256), 8, 64);
+    cache.setProbeKernel(simd ? sim::CacheSim::ProbeKernel::Simd
+                              : sim::CacheSim::ProbeKernel::Scalar);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::replaySegments(cache, segs));
+    }
+}
+BENCHMARK(BM_SegmentProbeKernel)->Arg(0)->Arg(1);
+
+void
 BM_MeasuredAutotunePerShape(benchmark::State &state)
 {
     sim::Gpu gpu(sim::GpuConfig::config1());

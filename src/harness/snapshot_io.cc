@@ -142,9 +142,9 @@ encodeSnapshotPayload(const ModelSnapshot &snap)
     w.f64(snap.evalCostMultiplier);
     core::encodeSeqPointOptions(w, snap.opts);
 
-    w.u64(snap.tunerEntries.size());
-    for (const nn::AutotuneEntry &e : snap.tunerEntries)
-        nn::encodeAutotuneEntry(w, e);
+    // Packed tuner section: shape-key order, delta/varint coded
+    // (format v4; v3 wrote the entries raw).
+    nn::encodeAutotuneSection(w, snap.tunerEntries);
 
     // The timing cache dominates the file; the compact section
     // delta-codes it in canonical signature order (which also makes
@@ -187,11 +187,7 @@ decodeSnapshotPayload(std::string_view payload, const std::string &what,
     snap.evalCostMultiplier = r.f64();
     snap.opts = core::decodeSeqPointOptions(r);
 
-    uint64_t tuner_n = r.u64();
-    snap.tunerEntries.reserve(static_cast<size_t>(
-        std::min<uint64_t>(tuner_n, r.remaining() / 8)));
-    for (uint64_t i = 0; i < tuner_n; ++i)
-        snap.tunerEntries.push_back(nn::decodeAutotuneEntry(r));
+    snap.tunerEntries = nn::decodeAutotuneSection(r);
 
     // The timing cache and the profile maps dominate decode time, so
     // poll the cancel context between the heavy sections: a request

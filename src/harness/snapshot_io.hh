@@ -52,8 +52,12 @@ namespace harness {
  * sweep (fatal_if -> recoverable fail on corrupt payloads, wrap-safe
  * delta arithmetic) so the codec content pins could be regenerated
  * under the lint ratchet. v2 stores rebuild on first use.
+ *
+ * v4: the tuner section (the last raw-encoded section) moved to the
+ * packed shape-key-ordered varint/delta form
+ * (nn::encodeAutotuneSection). v3 stores rebuild on first use.
  */
-constexpr uint32_t kSnapshotFormatVersion = 3;
+constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /**
  * Full identity of a snapshot: everything the snapshotted state is a

@@ -62,6 +62,29 @@ void encodeAutotuneEntry(ByteWriter &w, const AutotuneEntry &e);
 AutotuneEntry decodeAutotuneEntry(ByteReader &r);
 
 /**
+ * Serialize a whole tuner section in the packed form: entries are
+ * canonicalized into shape-key order and delta/varint coded against
+ * their predecessor (GEMM dims cluster, tile sizes repeat, probe
+ * costs go through the tagged f64 coder), a fraction of the 40 raw
+ * bytes per entry while round-tripping bit-exactly. The encoding is
+ * canonical: encode(decode(bytes)) reproduces `bytes` for any writer
+ * output.
+ *
+ * @param w Destination stream.
+ * @param entries Entries in any order.
+ */
+void encodeAutotuneSection(ByteWriter &w,
+                           const std::vector<AutotuneEntry> &entries);
+
+/**
+ * Decode a section written by encodeAutotuneSection(). Corrupt input
+ * raises the reader's error path (typed RecoverableError in Throw
+ * mode); structurally valid but hostile counts are bounded by the
+ * remaining payload size before any allocation.
+ */
+std::vector<AutotuneEntry> decodeAutotuneSection(ByteReader &r);
+
+/**
  * Shape -> variant cache with two selection policies.
  *
  * Heuristic mode picks by a traffic-plus-waste cost model (pure

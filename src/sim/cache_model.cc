@@ -110,8 +110,15 @@ CacheStats
 analyticStreamStats(const SegDesc &seg, uint64_t sets, unsigned assoc,
                     unsigned line_bytes)
 {
+    return analyticStreamStatsShaped(
+        seg, streamShape(seg, sets, line_bytes), assoc);
+}
+
+CacheStats
+analyticStreamStatsShaped(const SegDesc &seg, const StreamShape &sh,
+                          unsigned assoc)
+{
     panic_if(assoc == 0, "analyticStreamStats: bad geometry");
-    StreamShape sh = streamShape(seg, sets, line_bytes);
 
     // Each touched set holds either floor(D/P) or ceil(D/P) of the
     // stream's lines; a set overflows (and evicts, LRU) only beyond
@@ -136,13 +143,57 @@ analyticStreamStats(const SegDesc &seg, uint64_t sets, unsigned assoc,
 void
 replaySegmentsResume(CacheSim &cache, const SegmentList &list)
 {
+    replaySegmentsResume(cache, list, ReplayOptions{});
+}
+
+void
+replaySegmentsResume(CacheSim &cache, const SegmentList &list,
+                     const ReplayOptions &opts)
+{
     const unsigned line = cache.lineSize();
+    const uint64_t sets = cache.numSets();
+    // Warm verification (probe + stamp + memo record) costs more per
+    // segment than the line-run walk it replaces, so it only pays when
+    // the residency it establishes survives long enough to be memoized
+    // and replayed. Back off while the structure is churning: after
+    // any install/eviction, the next kWarmQuietWindow segments skip
+    // the warm test and take the line-run tier directly. The counter
+    // starts at the window so a steady-state call (the case the warm
+    // tier exists for) engages from its first segment.
+    constexpr uint64_t kWarmQuietWindow = 32;
+    uint64_t struct_gen = cache.structuralGen();
+    uint64_t quiet = kWarmQuietWindow;
     for (const SegDesc &seg : list.segments()) {
-        if (analyticStreamApplicable(seg, line) &&
-            cache.segmentSetsCold(seg)) {
-            cache.applyColdStream(seg);
+        // Tier ladder: memoized warm replay, cold closed form, warm
+        // closed form, line-run replay. The memo check comes first --
+        // only applicable segments are ever memoized, and a hit
+        // proves the segment fully resident (so the cold tier could
+        // not apply) and skips the shape math entirely; on a miss the
+        // shape is computed once per applicable segment and shared by
+        // every tier test and the accounting.
+        if (opts.warmTier && cache.replayWarmMemo(seg))
+            continue; // pure hits: structure unchanged by definition
+        if (analyticStreamApplicable(seg, line)) {
+            StreamShape sh = streamShape(seg, sets, line);
+            if (cache.segmentSetsCold(seg, sh)) {
+                cache.applyColdStream(seg, sh);
+                struct_gen = cache.structuralGen();
+                quiet = 0;
+                continue;
+            }
+            if (opts.warmTier && quiet >= kWarmQuietWindow &&
+                cache.segmentSetsWarm(seg, sh)) {
+                cache.applyWarmStream(seg, sh);
+                continue; // pure hits: structure unchanged
+            }
+        }
+        cache.accessSegment(seg);
+        const uint64_t gen = cache.structuralGen();
+        if (gen != struct_gen) {
+            struct_gen = gen;
+            quiet = 0;
         } else {
-            cache.accessSegment(seg);
+            ++quiet;
         }
     }
 }

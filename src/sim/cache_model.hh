@@ -6,12 +6,15 @@
  * (sim/cache_sim.hh) in the test suite and the cache ablation bench.
  *
  * Also hosts the piecewise-analytic replay engine: a SegmentList
- * (access_gen.hh) replays segment by segment, accounting each run
- * whose touched sets are still cold in closed form
- * (CacheSim::applyColdStream) and every other run at line-run
- * granularity (CacheSim::accessSegment). Per-set occupancy state
- * carries across segments inside the CacheSim, so the composition is
- * bit-identical to the scalar access() oracle on the expanded stream.
+ * (access_gen.hh) replays segment by segment down a tier ladder --
+ * closed form while the run's touched sets are still cold
+ * (CacheSim::applyColdStream), closed form when its whole line set
+ * is resident (CacheSim::applyWarmStream), and line-run granularity
+ * for everything else (CacheSim::accessSegment). Per-set occupancy
+ * and residency-summary state carries across segments inside the
+ * CacheSim, so the composition is bit-identical to the scalar
+ * access() oracle on the expanded stream; per-tier engagement
+ * counters ride along in CacheStats::tiers.
  */
 
 #ifndef SEQPOINT_SIM_CACHE_MODEL_HH
@@ -123,10 +126,34 @@ CacheStats analyticStreamStats(const SegDesc &seg, uint64_t sets,
                                unsigned assoc, unsigned line_bytes);
 
 /**
+ * analyticStreamStats() with the segment's precomputed line shape
+ * (the replay ladder computes the shape once per segment and shares
+ * it between the tier tests and the accounting).
+ *
+ * @param seg Applicable segment.
+ * @param sh streamShape(seg, sets, line_bytes) of the target cache.
+ * @param assoc Ways per set.
+ */
+CacheStats analyticStreamStatsShaped(const SegDesc &seg,
+                                     const StreamShape &sh,
+                                     unsigned assoc);
+
+/**
+ * Replay-engine knobs. The defaults give the full tier ladder; the
+ * bench pins tiers off to measure what each one buys. Tier choice
+ * never changes statistics or state -- only speed and the
+ * CacheStats::tiers accounting.
+ */
+struct ReplayOptions {
+    bool warmTier = true; ///< Engage the warm-set closed form.
+};
+
+/**
  * Piecewise-analytic replay of a segment list on the cache's current
  * state (composition entry point: call repeatedly to replay a stream
- * in chunks). Each segment is accounted in closed form when every
- * set it touches is still empty, and replayed at line-run
+ * in chunks). Each segment descends the tier ladder: accounted in
+ * closed form when every set it touches is still empty, in closed
+ * form when its whole line set is resident, and replayed at line-run
  * granularity otherwise; statistics and final cache state are
  * bit-identical to the scalar oracle on the expanded stream.
  *
@@ -134,6 +161,10 @@ CacheStats analyticStreamStats(const SegDesc &seg, uint64_t sets,
  * @param list Segment descriptors to replay.
  */
 void replaySegmentsResume(CacheSim &cache, const SegmentList &list);
+
+/** replaySegmentsResume() with explicit engine options. */
+void replaySegmentsResume(CacheSim &cache, const SegmentList &list,
+                          const ReplayOptions &opts);
 
 /**
  * Piecewise-analytic replay of a segment list on a reset cache.

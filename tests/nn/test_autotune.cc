@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.hh"
 #include "nn/autotune.hh"
 #include "nn/kernel_gen.hh"
 #include "sim/gpu.hh"
@@ -96,6 +100,106 @@ TEST(Autotuner, ResetClearsCacheAndCost)
     tuner.reset();
     EXPECT_EQ(tuner.cacheSize(), 0u);
     EXPECT_DOUBLE_EQ(tuner.tuningCostSec(), 0.0);
+}
+
+std::vector<AutotuneEntry>
+sampleEntries()
+{
+    std::vector<AutotuneEntry> v;
+    v.push_back({1024, 1024, 256, {128, 128, 16}, 0.0});
+    v.push_back({1024, 1024, 512, {128, 64, 16}, 1.5e-3});
+    v.push_back({64, 4096, 64, {16, 16, 16}, 2.25e-4});
+    v.push_back({2048, 32, 2048, {64, 32, 16}, 7.0});
+    v.push_back({-3, 0, 9, {0, 0, 0}, -0.0}); // hostile but encodable
+    return v;
+}
+
+TEST(AutotuneSection, RoundTripsBitExactly)
+{
+    std::vector<AutotuneEntry> in = sampleEntries();
+    ByteWriter w;
+    encodeAutotuneSection(w, in);
+
+    ByteReader r(w.data(), "test-autotune-section");
+    std::vector<AutotuneEntry> out = decodeAutotuneSection(r);
+    ASSERT_EQ(out.size(), in.size());
+
+    // decode returns canonical (shape-key) order; re-encoding must
+    // reproduce the exact bytes.
+    ByteWriter w2;
+    encodeAutotuneSection(w2, out);
+    EXPECT_EQ(w2.data(), w.data());
+
+    // Every input entry survives bit-exactly (costSec included).
+    for (const AutotuneEntry &e : in) {
+        bool found = false;
+        for (const AutotuneEntry &d : out) {
+            found |= d.m == e.m && d.n == e.n && d.k == e.k &&
+                     d.variant.tileM == e.variant.tileM &&
+                     d.variant.tileN == e.variant.tileN &&
+                     d.variant.tileK == e.variant.tileK &&
+                     std::memcmp(&d.costSec, &e.costSec,
+                                 sizeof(double)) == 0;
+        }
+        EXPECT_TRUE(found) << e.m << "x" << e.n << "x" << e.k;
+    }
+}
+
+TEST(AutotuneSection, EncodingIsOrderIndependent)
+{
+    std::vector<AutotuneEntry> in = sampleEntries();
+    ByteWriter w;
+    encodeAutotuneSection(w, in);
+
+    std::reverse(in.begin(), in.end());
+    ByteWriter wr;
+    encodeAutotuneSection(wr, in);
+    EXPECT_EQ(wr.data(), w.data());
+}
+
+TEST(AutotuneSection, EmptyRoundTrips)
+{
+    ByteWriter w;
+    encodeAutotuneSection(w, {});
+    ByteReader r(w.data(), "test-autotune-empty");
+    EXPECT_TRUE(decodeAutotuneSection(r).empty());
+}
+
+TEST(AutotuneSection, PacksTighterThanRawEntries)
+{
+    std::vector<AutotuneEntry> in;
+    for (int i = 0; i < 64; ++i)
+        in.push_back({512 + i, 512, 64 * (i % 4 + 1),
+                      gemmVariantMenu()[i % gemmVariantMenu().size()],
+                      0.0});
+    ByteWriter packed;
+    encodeAutotuneSection(packed, in);
+    ByteWriter raw;
+    for (const AutotuneEntry &e : in)
+        encodeAutotuneEntry(raw, e);
+    EXPECT_LT(packed.data().size(), raw.data().size() / 2);
+}
+
+TEST(AutotuneSection, TruncatedPayloadThrowsRecoverable)
+{
+    ByteWriter w;
+    encodeAutotuneSection(w, sampleEntries());
+    std::string bytes = w.data();
+    bytes.resize(bytes.size() / 2);
+    ByteReader r(bytes, "test-autotune-trunc",
+                 ByteReader::OnError::Throw);
+    EXPECT_THROW(decodeAutotuneSection(r), RecoverableError);
+}
+
+TEST(AutotuneSection, HostileCountIsBoundedBeforeAllocation)
+{
+    // A huge entry count with a near-empty payload must fail on
+    // truncation, not allocate by the count.
+    ByteWriter w;
+    w.u64(uint64_t(1) << 62);
+    ByteReader r(w.data(), "test-autotune-count",
+                 ByteReader::OnError::Throw);
+    EXPECT_THROW(decodeAutotuneSection(r), RecoverableError);
 }
 
 TEST(AutotunerDeath, MeasuredRequiresDevice)

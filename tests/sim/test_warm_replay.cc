@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the warm closed-form replay tier and the vectorized
+ * probe kernel: steady-state oracle equivalence across the geometry
+ * x generator matrix (statistics AND full final state), the
+ * partially-warm fallback, summary retirement across
+ * restoreState(), SIMD-vs-scalar bit identity, and the tier
+ * engagement counters (every segment replay accounts to exactly one
+ * tier; CacheStats equality ignores the tier split).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "sim/access_gen.hh"
+#include "sim/cache_model.hh"
+#include "sim/cache_sim.hh"
+
+namespace seqpoint {
+namespace sim {
+namespace {
+
+/** Scalar oracle: one access() call per trace entry. */
+void
+scalarResume(CacheSim &cache, const AccessTrace &trace)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        cache.access(trace.addr(i), trace.isWrite(i));
+}
+
+/**
+ * Full bit-identity: statistics and every word of mutable cache
+ * state. Stricter than the stats-after-warm-pass probe the segment
+ * tests use -- the warm tier writes lastUse stamps arithmetically,
+ * so the LRU clocks themselves must be compared.
+ */
+void
+expectSameState(const CacheSim &a, const CacheSim &b,
+                const std::string &ctx)
+{
+    EXPECT_EQ(a.stats(), b.stats()) << ctx;
+    CacheSetState sa = a.snapshotState();
+    CacheSetState sb = b.snapshotState();
+    EXPECT_EQ(sa.useClock, sb.useClock) << ctx;
+    EXPECT_EQ(sa.tags, sb.tags) << ctx;
+    EXPECT_EQ(sa.lastUse, sb.lastUse) << ctx;
+    EXPECT_EQ(sa.flags, sb.flags) << ctx;
+}
+
+struct Geometry {
+    unsigned assoc;
+    unsigned lineBytes;
+};
+
+std::vector<Geometry>
+geometries()
+{
+    std::vector<Geometry> gs;
+    for (unsigned assoc : {1u, 4u, 16u})
+        for (unsigned line : {32u, 64u, 128u})
+            gs.push_back({assoc, line});
+    return gs;
+}
+
+struct NamedStream {
+    const char *name;
+    SegmentList segs;
+};
+
+/**
+ * Streams chosen to exercise every warm-tier decision: resident
+ * re-walks (closed form fires), capacity overflows (cold then
+ * line-run), sub-line and line-straddling strides, negative strides
+ * and stride-0 pounding (analytically inapplicable -> line-run
+ * tier), and write passes (dirty stamping).
+ */
+std::vector<NamedStream>
+warmStreams()
+{
+    std::vector<NamedStream> streams;
+
+    // Fits in every tested geometry: the second and third walks are
+    // fully resident.
+    streams.push_back({"residentRewalk",
+                       genStreamingSegments(kib(8), 16)});
+
+    // Same footprint, written on the re-walk: warm stamping must set
+    // dirty bits exactly like the oracle.
+    SegmentList dirty;
+    dirty.addRun(0, 16, kib(8) / 16, false);
+    dirty.addRun(0, 16, kib(8) / 16, true);
+    streams.push_back({"residentDirtyRewalk", dirty});
+
+    // Overflows a 16 KiB cache: never warm, exercises the fallback
+    // interleaving with cold accounting.
+    streams.push_back({"capacityOverflow",
+                       genStreamingSegments(kib(96), 16)});
+
+    // Blocked GEMM: panel re-walks are the paper's warm shape.
+    streams.push_back({"blockedGemm",
+                       genBlockedGemmSegments(48, 32, 64, 16)});
+
+    // Line-straddling stride, walked twice.
+    SegmentList straddle;
+    straddle.addRun(8, 48, 100, false);
+    straddle.addRun(8, 48, 100, false);
+    streams.push_back({"straddle48", straddle});
+
+    // Analytically inapplicable shapes: negative stride and stride-0
+    // pounding over a resident footprint -- must route to the
+    // line-run tier and stay bit-identical.
+    SegmentList inapplicable;
+    inapplicable.addRun(0, 16, 256, false);
+    inapplicable.addRun(4096 - 16, -16, 256, false);
+    inapplicable.addRun(0x80, 0, 64, true);
+    streams.push_back({"inapplicableShapes", inapplicable});
+
+    return streams;
+}
+
+/**
+ * The tentpole identity: R rounds of the same stream through the
+ * tier ladder vs the scalar oracle, comparing statistics and the
+ * full final state each round. Round 1 runs cold tiers; rounds 2+
+ * are where the warm closed form (or its fallback) engages.
+ */
+TEST(WarmReplay, MatchesScalarAcrossGeometryGeneratorMatrix)
+{
+    constexpr int kRounds = 3;
+    for (const NamedStream &ns : warmStreams()) {
+        AccessTrace trace = ns.segs.materialize();
+        for (const Geometry &g : geometries()) {
+            CacheSim oracle(kib(16), g.assoc, g.lineBytes);
+            CacheSim engine(kib(16), g.assoc, g.lineBytes);
+            for (int round = 0; round < kRounds; ++round) {
+                scalarResume(oracle, trace);
+                replaySegmentsResume(engine, ns.segs);
+                expectSameState(engine, oracle,
+                                std::string(ns.name) + " round " +
+                                    std::to_string(round) + " assoc " +
+                                    std::to_string(g.assoc) + " line " +
+                                    std::to_string(g.lineBytes));
+            }
+        }
+    }
+}
+
+TEST(WarmReplay, WarmTierEngagesOnSteadyState)
+{
+    SegmentList stream = genStreamingSegments(kib(8), 16);
+    CacheSim engine(kib(16), 4, 64);
+    replaySegmentsResume(engine, stream); // install
+    uint64_t warm_before = engine.stats().tiers.warmSegments;
+    CacheStats before = engine.stats();
+
+    replaySegmentsResume(engine, stream); // fully resident re-walk
+    EXPECT_GT(engine.stats().tiers.warmSegments, warm_before);
+    EXPECT_EQ(engine.stats().hits - before.hits, stream.accesses())
+        << "steady-state re-walk must be all hits";
+
+    // The steady state stays warm indefinitely.
+    replaySegmentsResume(engine, stream);
+    EXPECT_GT(engine.stats().tiers.warmSegments, warm_before + 1);
+}
+
+TEST(WarmReplay, PartialEvictionFallsBackAndStaysIdentical)
+{
+    // Warm a footprint, evict part of it with a conflicting walk,
+    // then re-walk the original: the warm test must reject the
+    // segment (some lines gone) and the fallback must match the
+    // oracle exactly.
+    SegmentList warm_walk = genStreamingSegments(kib(8), 16);
+    SegmentList evictor;
+    // Same sets, different tags: 16 KiB / 4-way / 64 B lines has
+    // 4 KiB of sets-span per way, so +64 KiB aliases onto the same
+    // sets.
+    evictor.addRun(kib(64), 16, kib(4) / 16, false);
+
+    CacheSim oracle(kib(16), 4, 64), engine(kib(16), 4, 64);
+    AccessTrace warm_trace = warm_walk.materialize();
+    AccessTrace evict_trace = evictor.materialize();
+
+    scalarResume(oracle, warm_trace);
+    scalarResume(oracle, warm_trace);
+    scalarResume(oracle, evict_trace);
+    scalarResume(oracle, warm_trace);
+
+    replaySegmentsResume(engine, warm_walk);
+    replaySegmentsResume(engine, warm_walk); // warm tier fires here
+    uint64_t warm_mark = engine.stats().tiers.warmSegments;
+    EXPECT_GT(warm_mark, 0u);
+    replaySegmentsResume(engine, evictor);   // retires summaries
+    replaySegmentsResume(engine, warm_walk); // partially warm now
+
+    expectSameState(engine, oracle, "post-eviction re-walk");
+}
+
+TEST(WarmReplay, RestoreStateRetiresSummariesSafely)
+{
+    // restoreState() rebuilds occupancy but deliberately drops the
+    // residency summaries; the next warm test must re-verify by
+    // probing, not trust stale way mappings.
+    SegmentList stream = genStreamingSegments(kib(8), 16);
+    CacheSim engine(kib(16), 4, 64);
+    replaySegmentsResume(engine, stream);
+    replaySegmentsResume(engine, stream); // summaries recorded
+    CacheSetState snap = engine.snapshotState();
+
+    CacheSim resumed(kib(16), 4, 64);
+    resumed.restoreState(snap);
+    replaySegmentsResume(resumed, stream);
+
+    CacheSim oracle(kib(16), 4, 64);
+    AccessTrace trace = stream.materialize();
+    scalarResume(oracle, trace);
+    scalarResume(oracle, trace);
+    scalarResume(oracle, trace);
+    expectSameState(resumed, oracle, "resume after restore");
+
+    // The restored engine still reaches the warm tier again.
+    uint64_t warm_before = resumed.stats().tiers.warmSegments;
+    replaySegmentsResume(resumed, stream);
+    EXPECT_GT(resumed.stats().tiers.warmSegments, warm_before);
+}
+
+TEST(WarmReplay, WarmTierOptOutIsBitIdentical)
+{
+    // ReplayOptions{warmTier = false} is the bench baseline: same
+    // statistics and state, zero warm engagements.
+    SegmentList stream = genStreamingSegments(kib(8), 16);
+    CacheSim tiered(kib(16), 4, 64), flat(kib(16), 4, 64);
+    ReplayOptions no_warm;
+    no_warm.warmTier = false;
+    for (int round = 0; round < 3; ++round) {
+        replaySegmentsResume(tiered, stream);
+        replaySegmentsResume(flat, stream, no_warm);
+    }
+    expectSameState(tiered, flat, "warm opt-out");
+    EXPECT_GT(tiered.stats().tiers.warmSegments, 0u);
+    EXPECT_EQ(flat.stats().tiers.warmSegments, 0u);
+}
+
+TEST(WarmReplay, EverySegmentAccountsToExactlyOneTier)
+{
+    constexpr int kRounds = 2;
+    for (const NamedStream &ns : warmStreams()) {
+        CacheSim engine(kib(16), 4, 64);
+        for (int round = 0; round < kRounds; ++round)
+            replaySegmentsResume(engine, ns.segs);
+        EXPECT_EQ(engine.stats().tiers.total(),
+                  kRounds * ns.segs.size())
+            << ns.name;
+    }
+}
+
+TEST(WarmReplay, StatsEqualityIgnoresTierSplit)
+{
+    CacheStats a, b;
+    a.accesses = b.accesses = 100;
+    a.hits = b.hits = 90;
+    a.tiers.coldSegments = 5;
+    b.tiers.lineRunSegments = 7;
+    EXPECT_EQ(a, b); // semantic fields equal, tier split differs
+
+    b.hits = 89;
+    EXPECT_FALSE(a == b);
+
+    ReplayTierCounters ta, tb;
+    ta.coldSegments = 1;
+    EXPECT_FALSE(ta == tb);
+    tb.coldSegments = 1;
+    EXPECT_EQ(ta, tb);
+    EXPECT_EQ(ta.total(), 1u);
+}
+
+TEST(WarmReplay, SimdProbeIsBitIdenticalToScalar)
+{
+    if (!CacheSim::simdProbeSupported())
+        GTEST_SKIP() << "host has no vectorized probe";
+
+    // Probe-heavy streams (hot/cold random mix plus resident
+    // re-walks) through both kernels on every geometry: identical
+    // statistics and final state word for word.
+    Rng rng(9, 0xbeef);
+    std::vector<NamedStream> streams = warmStreams();
+    streams.push_back({"hotCold",
+                       genHotColdSegments(4000, kib(4), kib(256), 0.7,
+                                          rng)});
+
+    for (const NamedStream &ns : streams) {
+        for (const Geometry &g : geometries()) {
+            CacheSim scalar(kib(16), g.assoc, g.lineBytes);
+            CacheSim simd(kib(16), g.assoc, g.lineBytes);
+            scalar.setProbeKernel(CacheSim::ProbeKernel::Scalar);
+            simd.setProbeKernel(CacheSim::ProbeKernel::Simd);
+            ASSERT_EQ(simd.probeKernel(), CacheSim::ProbeKernel::Simd);
+
+            for (int round = 0; round < 2; ++round) {
+                replaySegmentsResume(scalar, ns.segs);
+                replaySegmentsResume(simd, ns.segs);
+            }
+            expectSameState(simd, scalar,
+                            std::string(ns.name) + " assoc " +
+                                std::to_string(g.assoc) + " line " +
+                                std::to_string(g.lineBytes));
+        }
+    }
+}
+
+TEST(WarmReplay, ProbeKernelSelection)
+{
+    CacheSim c(kib(16), 4, 64);
+    c.setProbeKernel(CacheSim::ProbeKernel::Scalar);
+    EXPECT_EQ(c.probeKernel(), CacheSim::ProbeKernel::Scalar);
+    c.setProbeKernel(CacheSim::ProbeKernel::Auto);
+    EXPECT_EQ(c.probeKernel(), CacheSim::simdProbeSupported()
+                  ? CacheSim::ProbeKernel::Simd
+                  : CacheSim::ProbeKernel::Scalar);
+}
+
+TEST(WarmReplayDeathTest, SimdKernelPanicsWhenUnsupported)
+{
+    if (CacheSim::simdProbeSupported())
+        GTEST_SKIP() << "host supports the vectorized probe";
+    CacheSim c(kib(16), 4, 64);
+    EXPECT_DEATH(c.setProbeKernel(CacheSim::ProbeKernel::Simd),
+                 "probe");
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace seqpoint

@@ -101,7 +101,7 @@ main(int argc, char **argv)
 
     // fuzz_snapshot_load: the full payload plus every section.
     std::string payload = encodeSnapshotPayload(*snap);
-    ok &= writeSeed(root, "fuzz_snapshot_load", "payload_v3",
+    ok &= writeSeed(root, "fuzz_snapshot_load", "payload_v4",
                     mode(0, payload));
     {
         ByteWriter w;
@@ -145,6 +145,12 @@ main(int argc, char **argv)
         nn::encodeAutotuneEntry(w, snap->tunerEntries.front());
         ok &= writeSeed(root, "fuzz_snapshot_load", "autotune_entry",
                         mode(7, w.data()));
+    }
+    {
+        ByteWriter w;
+        nn::encodeAutotuneSection(w, snap->tunerEntries);
+        ok &= writeSeed(root, "fuzz_snapshot_load", "autotune_section",
+                        mode(8, w.data()));
     }
 
     // fuzz_timing_section: the packed section and its pieces.

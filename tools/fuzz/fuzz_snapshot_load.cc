@@ -76,7 +76,7 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
     std::string_view payload(reinterpret_cast<const char *>(data) + 1,
                              size - 1);
     try {
-        switch (data[0] & 0x7) {
+        switch (data[0] % 9) {
           case 0:
             fuzzPayload(payload);
             break;
@@ -143,6 +143,16 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
                         },
                         [](ByteWriter &w, const nn::AutotuneEntry &v) {
                             nn::encodeAutotuneEntry(w, v);
+                        });
+            break;
+          case 8:
+            fuzzSection(payload, "fuzz-autotune-section",
+                        [](ByteReader &r) {
+                            return nn::decodeAutotuneSection(r);
+                        },
+                        [](ByteWriter &w,
+                           const std::vector<nn::AutotuneEntry> &v) {
+                            nn::encodeAutotuneSection(w, v);
                         });
             break;
         }
